@@ -1,0 +1,50 @@
+//! Distributed-substrate benchmark (§4.2): the cluster list-scheduling
+//! simulator and the BOINC-style volunteer grid simulator on family-sized
+//! job lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsat_distrib::{
+    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
+    GridConfig,
+};
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn job_list(len: usize) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    (0..len).map(|_| rng.gen_range(0.01..2.0)).collect()
+}
+
+fn bench_distrib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distrib_simulators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    for jobs in [1usize << 10, 1 << 14] {
+        let costs = job_list(jobs);
+        group.bench_with_input(
+            BenchmarkId::new("cluster_480_cores", jobs),
+            &costs,
+            |b, costs| {
+                let config = ClusterConfig::matrosov_15_nodes();
+                b.iter(|| simulate_cluster(costs, &[], &config).makespan);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("volunteer_grid_200_hosts", jobs),
+            &costs,
+            |b, costs| {
+                let hosts = synthetic_host_population(200, 5);
+                let config = GridConfig::default();
+                b.iter(|| simulate_volunteer_grid(costs, &hosts, &config).makespan);
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distrib);
+criterion_main!(benches);

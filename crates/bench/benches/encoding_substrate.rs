@@ -1,0 +1,46 @@
+//! Substrate benchmark: circuit construction and Tseitin encoding of the
+//! three keystream generators (the Transalg-substitute path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdsat_ciphers::{A51, Bivium, Grain, StreamCipher};
+use pdsat_circuit::tseitin;
+use std::time::Duration;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_substrate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("a51_circuit_114_bits", |b| {
+        b.iter(|| {
+            let circuit = A51::new().circuit(114);
+            assert!(circuit.num_gates() > 0);
+            circuit
+        });
+    });
+
+    group.bench_function("bivium_encode_200_bits", |b| {
+        b.iter(|| {
+            let circuit = Bivium::new().circuit(200);
+            let enc = tseitin::encode(&circuit);
+            assert_eq!(enc.inputs.len(), 177);
+            enc
+        });
+    });
+
+    group.bench_function("grain_encode_160_bits", |b| {
+        b.iter(|| {
+            let circuit = Grain::new().circuit(160);
+            let enc = tseitin::encode(&circuit);
+            assert_eq!(enc.inputs.len(), 160);
+            enc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Metaheuristics benchmark (Table 1 / §3 ablation): how many points per
+//! second simulated annealing and tabu search traverse under identical
+//! evaluation budgets, and the cost of the tabu bookkeeping itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdsat_bench::bench_a51_instance;
+use pdsat_core::{
+    AnnealingConfig, CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
+    SimulatedAnnealing, TabuConfig, TabuSearch,
+};
+use std::time::Duration;
+
+fn evaluator_for(instance: &pdsat_ciphers::Instance) -> Evaluator {
+    Evaluator::new(
+        instance.cnf(),
+        EvaluatorConfig {
+            sample_size: 10,
+            cost: CostMetric::Conflicts,
+            ..EvaluatorConfig::default()
+        },
+    )
+}
+
+fn bench_metaheuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metaheuristics");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let instance = bench_a51_instance();
+    let space = SearchSpace::new(instance.unknown_state_vars());
+    let limits = SearchLimits::unlimited().with_max_points(12);
+
+    group.bench_function("simulated_annealing_12_points", |b| {
+        let sa = SimulatedAnnealing::new(AnnealingConfig {
+            limits: limits.clone(),
+            seed: 1,
+            ..AnnealingConfig::default()
+        });
+        b.iter(|| {
+            let mut evaluator = evaluator_for(&instance);
+            let outcome = sa.minimize(&space, &space.full_point(), &mut evaluator);
+            assert!(outcome.points_evaluated <= 12);
+            outcome.best_value
+        });
+    });
+
+    group.bench_function("tabu_search_12_points", |b| {
+        let tabu = TabuSearch::new(TabuConfig {
+            limits: limits.clone(),
+            seed: 1,
+            ..TabuConfig::default()
+        });
+        b.iter(|| {
+            let mut evaluator = evaluator_for(&instance);
+            let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+            assert!(outcome.points_evaluated <= 12);
+            outcome.best_value
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metaheuristics);
+criterion_main!(benches);

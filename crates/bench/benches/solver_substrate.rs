@@ -1,0 +1,57 @@
+//! Substrate benchmark: the CDCL solver (the algorithm `A`) on the workloads
+//! the paper's estimator feeds it — weakened cipher inversion sub-problems
+//! and a combinatorial UNSAT stress test.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdsat_bench::{bench_a51_instance, bench_bivium_instance, pigeonhole, start_set};
+use pdsat_solver::Solver;
+use std::time::Duration;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_substrate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("pigeonhole_7_unsat", |b| {
+        let cnf = pigeonhole(7);
+        b.iter_batched(
+            || Solver::from_cnf(&cnf),
+            |mut solver| {
+                assert!(solver.solve().is_unsat());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("a51_weakened_full_solve", |b| {
+        let instance = bench_a51_instance();
+        b.iter_batched(
+            || Solver::from_cnf(instance.cnf()),
+            |mut solver| {
+                assert!(solver.solve().is_sat());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("bivium_weakened_cube_assumptions", |b| {
+        // One random cube of the decomposition family, solved under
+        // assumptions on a pre-loaded solver — the unit of work of the Monte
+        // Carlo estimator.
+        let instance = bench_bivium_instance();
+        let set = start_set(&instance);
+        let cube = set.cube_from_index(5);
+        let mut solver = Solver::from_cnf(instance.cnf());
+        b.iter(|| {
+            let verdict = solver.solve_with_assumptions(&cube.to_assumptions());
+            assert!(!verdict.is_unknown());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 / Figures 1–2 benchmark: evaluating the predictive function
+//! `F(χ)` for A5/1 decomposition sets of different sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsat_bench::{bench_a51_instance, start_set};
+use pdsat_core::{CostMetric, DecompositionSet, Evaluator, EvaluatorConfig};
+use std::time::Duration;
+
+fn bench_predictive_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_a51_predict");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    let instance = bench_a51_instance();
+    let full = start_set(&instance);
+
+    for set_size in [4usize, 8, 12] {
+        let set = DecompositionSet::new(full.vars().iter().copied().take(set_size));
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_F_N20", set_size),
+            &set,
+            |b, set| {
+                let mut evaluator = Evaluator::new(
+                    instance.cnf(),
+                    EvaluatorConfig {
+                        sample_size: 20,
+                        cost: CostMetric::Conflicts,
+                        ..EvaluatorConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    let eval = evaluator.evaluate(set);
+                    assert!(eval.value() >= 0.0);
+                    eval.value()
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictive_function);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 2 benchmark: the cost of the Bivium estimation as a function of the
+//! Monte Carlo sample size `N` (the paper contrasts N = 10², 10³ and 10⁵).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdsat_bench::{bench_bivium_instance, start_set};
+use pdsat_core::{CostMetric, Evaluator, EvaluatorConfig};
+use std::time::Duration;
+
+fn bench_sample_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sample_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    let instance = bench_bivium_instance();
+    let set = start_set(&instance);
+
+    for n in [10usize, 40, 160] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bivium_estimate", n), &n, |b, &n| {
+            let mut evaluator = Evaluator::new(
+                instance.cnf(),
+                EvaluatorConfig {
+                    sample_size: n,
+                    cost: CostMetric::Conflicts,
+                    ..EvaluatorConfig::default()
+                },
+            );
+            b.iter(|| evaluator.evaluate(&set).value());
+        });
+    }
+
+    // Ablation: the same sample processed by 1 worker vs 4 workers.
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("bivium_estimate_N40_workers", workers),
+            &workers,
+            |b, &workers| {
+                let mut evaluator = Evaluator::new(
+                    instance.cnf(),
+                    EvaluatorConfig {
+                        sample_size: 40,
+                        num_workers: workers,
+                        cost: CostMetric::Conflicts,
+                        ..EvaluatorConfig::default()
+                    },
+                );
+                b.iter(|| evaluator.evaluate(&set).value());
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_size);
+criterion_main!(benches);

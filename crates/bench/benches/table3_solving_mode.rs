@@ -1,0 +1,63 @@
+//! Table 3 benchmark: processing a whole decomposition family in solving
+//! mode, with the fresh-solver vs reused-solver ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdsat_bench::{bench_bivium_instance, bench_grain_instance, start_set};
+use pdsat_core::{solve_family, CostMetric, SolveModeConfig};
+use std::time::Duration;
+
+fn bench_solving_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_solving_mode");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let bivium = bench_bivium_instance();
+    let bivium_set = start_set(&bivium);
+    let grain = bench_grain_instance();
+    let grain_set = start_set(&grain);
+
+    for reuse in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("bivium_family_1024_cubes_reuse", reuse),
+            &reuse,
+            |b, &reuse| {
+                let config = SolveModeConfig {
+                    cost: CostMetric::Conflicts,
+                    reuse_solvers: reuse,
+                    ..SolveModeConfig::default()
+                };
+                b.iter(|| {
+                    let report = solve_family(bivium.cnf(), &bivium_set, &config, None);
+                    assert!(report.sat_count >= 1);
+                    report.total_cost
+                });
+            },
+        );
+    }
+
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("grain_family_1024_cubes_workers", workers),
+            &workers,
+            |b, &workers| {
+                let config = SolveModeConfig {
+                    cost: CostMetric::Conflicts,
+                    num_workers: workers,
+                    ..SolveModeConfig::default()
+                };
+                b.iter(|| {
+                    let report = solve_family(grain.cnf(), &grain_set, &config, None);
+                    assert!(report.sat_count >= 1);
+                    report.total_cost
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solving_mode);
+criterion_main!(benches);

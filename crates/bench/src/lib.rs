@@ -1,0 +1,90 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every benchmark works on *bench-scale* instances: small enough that one
+//! Criterion iteration takes milliseconds, large enough that the measured
+//! quantity still reflects the paper's workload structure (Tseitin-encoded
+//! keystream generators, weakened so that the unknown part is a handful of
+//! state bits). The mapping from paper table/figure to bench target lives in
+//! DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pdsat_ciphers::{A51, Bivium, Grain, Instance, InstanceBuilder};
+use pdsat_cnf::{Cnf, Lit, Var};
+use pdsat_core::DecompositionSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A weakened A5/1 instance used by the benchmarks (12 unknown state bits,
+/// 48-bit keystream).
+#[must_use]
+pub fn bench_a51_instance() -> Instance {
+    let mut rng = StdRng::seed_from_u64(0xA51);
+    InstanceBuilder::new(A51::new())
+        .keystream_len(48)
+        .known_suffix_of_second_register(52)
+        .build_random(&mut rng)
+}
+
+/// A weakened Bivium instance (10 unknown state bits, 64-bit keystream).
+#[must_use]
+pub fn bench_bivium_instance() -> Instance {
+    let mut rng = StdRng::seed_from_u64(0xB1B1);
+    InstanceBuilder::new(Bivium::new())
+        .keystream_len(64)
+        .known_suffix_of_second_register(167)
+        .build_random(&mut rng)
+}
+
+/// A weakened Grain instance (10 unknown state bits, 48-bit keystream).
+#[must_use]
+pub fn bench_grain_instance() -> Instance {
+    let mut rng = StdRng::seed_from_u64(0x6AA1);
+    InstanceBuilder::new(Grain::new())
+        .keystream_len(48)
+        .known_suffix_of_second_register(150)
+        .build_random(&mut rng)
+}
+
+/// The unknown-state decomposition set of an instance (its `X̃_start`).
+#[must_use]
+pub fn start_set(instance: &Instance) -> DecompositionSet {
+    DecompositionSet::new(instance.unknown_state_vars())
+}
+
+/// An unsatisfiable pigeonhole formula (`pigeons` pigeons into `pigeons - 1`
+/// holes) used as a solver stress test independent of the cipher encodings.
+#[must_use]
+pub fn pigeonhole(pigeons: usize) -> Cnf {
+    let holes = pigeons - 1;
+    let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+    let mut cnf = Cnf::new(pigeons * holes);
+    for i in 0..pigeons {
+        cnf.add_clause((0..holes).map(|j| var(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                cnf.add_clause([!var(i1, j), !var(i2, j)]);
+            }
+        }
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_bench_scale() {
+        let a51 = bench_a51_instance();
+        assert_eq!(start_set(&a51).len(), 12);
+        let bivium = bench_bivium_instance();
+        assert_eq!(start_set(&bivium).len(), 10);
+        let grain = bench_grain_instance();
+        assert_eq!(start_set(&grain).len(), 10);
+        assert!(pigeonhole(6).num_clauses() > 6);
+    }
+}

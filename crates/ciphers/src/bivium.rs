@@ -1,0 +1,208 @@
+//! The Bivium keystream generator.
+//!
+//! Bivium (more precisely Bivium-B, Cannière 2006) is the two-register
+//! reduction of Trivium used as a cryptanalysis benchmark in the paper and in
+//! the earlier SAT attacks it compares against (Eibach et al. 2008, Soos et
+//! al. 2009/2010). The state consists of two shift registers `A` (93 cells,
+//! Trivium cells `s1…s93`) and `B` (84 cells, `s94…s177`). One round computes
+//!
+//! ```text
+//! t1 = s66 ⊕ s93
+//! t2 = s162 ⊕ s177
+//! z  = t1 ⊕ t2                    (keystream bit)
+//! t1' = t1 ⊕ s91·s92 ⊕ s171
+//! t2' = t2 ⊕ s175·s176 ⊕ s69
+//! A ← t2' ‖ A[1..92]   (t2' becomes the new s1)
+//! B ← t1' ‖ B[1..83]   (t1' becomes the new s94)
+//! ```
+//!
+//! Following the paper, initialization is omitted: the unknown is the 177-bit
+//! register state at the end of the initialization phase and the observed
+//! keystream fragment is 200 bits.
+
+use crate::StreamCipher;
+use pdsat_circuit::{Circuit, Signal};
+
+/// Length of register A (`s1…s93`).
+pub const REGISTER_A_LEN: usize = 93;
+/// Length of register B (`s94…s177`).
+pub const REGISTER_B_LEN: usize = 84;
+/// Total state size (177).
+pub const STATE_LEN: usize = REGISTER_A_LEN + REGISTER_B_LEN;
+/// Keystream length used in the paper's Bivium experiments.
+pub const DEFAULT_KEYSTREAM_LEN: usize = 200;
+
+/// The Bivium generator in the state-recovery formulation.
+///
+/// State variable `i` (0-based) corresponds to Trivium cell `s(i+1)`, so the
+/// "last K cells of the second shift register" weakening of the paper
+/// (BiviumK) fixes state variables `177-K … 176`.
+///
+/// # Example
+///
+/// ```
+/// use pdsat_ciphers::{Bivium, StreamCipher};
+/// let cipher = Bivium::new();
+/// let state: Vec<bool> = (0..177).map(|i| i % 3 == 0).collect();
+/// let ks = cipher.keystream(&state, 20);
+/// assert_eq!(cipher.circuit(20).evaluate(&state), ks);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bivium;
+
+impl Bivium {
+    /// Creates the cipher description.
+    #[must_use]
+    pub fn new() -> Bivium {
+        Bivium
+    }
+}
+
+impl StreamCipher for Bivium {
+    fn name(&self) -> &str {
+        "Bivium"
+    }
+
+    fn state_len(&self) -> usize {
+        STATE_LEN
+    }
+
+    fn default_keystream_len(&self) -> usize {
+        DEFAULT_KEYSTREAM_LEN
+    }
+
+    fn register_layout(&self) -> Vec<(String, usize)> {
+        vec![
+            ("A (s1..s93)".to_string(), REGISTER_A_LEN),
+            ("B (s94..s177)".to_string(), REGISTER_B_LEN),
+        ]
+    }
+
+    fn keystream(&self, state: &[bool], len: usize) -> Vec<bool> {
+        assert_eq!(state.len(), STATE_LEN, "Bivium state is 177 bits");
+        let mut a = state[..REGISTER_A_LEN].to_vec();
+        let mut b = state[REGISTER_A_LEN..].to_vec();
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let t1 = a[65] ^ a[92]; // s66 ⊕ s93
+            let t2 = b[68] ^ b[83]; // s162 ⊕ s177
+            out.push(t1 ^ t2);
+            let t1n = t1 ^ (a[90] & a[91]) ^ b[77]; // ⊕ s91·s92 ⊕ s171
+            let t2n = t2 ^ (b[81] & b[82]) ^ a[68]; // ⊕ s175·s176 ⊕ s69
+            a.rotate_right(1);
+            a[0] = t2n;
+            b.rotate_right(1);
+            b[0] = t1n;
+        }
+        out
+    }
+
+    fn circuit(&self, len: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let inputs = c.inputs(STATE_LEN);
+        let mut a: Vec<Signal> = inputs[..REGISTER_A_LEN].to_vec();
+        let mut b: Vec<Signal> = inputs[REGISTER_A_LEN..].to_vec();
+        for _ in 0..len {
+            let t1 = c.xor(a[65], a[92]);
+            let t2 = c.xor(b[68], b[83]);
+            let z = c.xor(t1, t2);
+            c.add_output(z);
+            let a_and = c.and(a[90], a[91]);
+            let t1n = {
+                let x = c.xor(t1, a_and);
+                c.xor(x, b[77])
+            };
+            let b_and = c.and(b[81], b[82]);
+            let t2n = {
+                let x = c.xor(t2, b_and);
+                c.xor(x, a[68])
+            };
+            a.rotate_right(1);
+            a[0] = t2n;
+            b.rotate_right(1);
+            b[0] = t1n;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::assert_circuit_matches;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(seed: u64) -> Vec<bool> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..STATE_LEN).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    #[test]
+    fn keystream_is_deterministic_and_sized() {
+        let cipher = Bivium::new();
+        let state = random_state(11);
+        let a = cipher.keystream(&state, 200);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, cipher.keystream(&state, 200));
+    }
+
+    #[test]
+    fn zero_state_produces_zero_keystream() {
+        let cipher = Bivium::new();
+        let ks = cipher.keystream(&vec![false; STATE_LEN], 64);
+        assert!(ks.iter().all(|&z| !z));
+    }
+
+    #[test]
+    fn first_bit_matches_manual_formula() {
+        let cipher = Bivium::new();
+        let mut state = vec![false; STATE_LEN];
+        state[65] = true; // s66
+        let ks = cipher.keystream(&state, 1);
+        assert!(ks[0]);
+        state[92] = true; // also s93: t1 becomes 0 again
+        let ks = cipher.keystream(&state, 1);
+        assert!(!ks[0]);
+        state[REGISTER_A_LEN + 83] = true; // s177 flips t2
+        let ks = cipher.keystream(&state, 1);
+        assert!(ks[0]);
+    }
+
+    #[test]
+    fn nonlinearity_appears_after_enough_rounds() {
+        // The AND terms only affect the keystream once the feedback reaches
+        // the tap positions; check that flipping s92 alone changes some later
+        // keystream bit non-linearly (i.e. keystreams differ in more than the
+        // positions where s92 is tapped linearly).
+        let cipher = Bivium::new();
+        let base = random_state(42);
+        let mut flipped = base.clone();
+        flipped[91] ^= true; // s92 feeds the AND gate of t1'
+        let ks_a = cipher.keystream(&base, 200);
+        let ks_b = cipher.keystream(&flipped, 200);
+        assert_ne!(ks_a, ks_b);
+    }
+
+    #[test]
+    fn circuit_matches_reference_on_random_states() {
+        let cipher = Bivium::new();
+        for seed in 0..6 {
+            assert_circuit_matches(&cipher, &random_state(seed), 40);
+        }
+    }
+
+    #[test]
+    fn layout_and_metadata() {
+        let cipher = Bivium::new();
+        assert_eq!(cipher.state_len(), 177);
+        assert_eq!(cipher.default_keystream_len(), 200);
+        let total: usize = cipher.register_layout().iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 177);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bivium state is 177 bits")]
+    fn wrong_state_length_panics() {
+        Bivium::new().keystream(&[false; 3], 1);
+    }
+}

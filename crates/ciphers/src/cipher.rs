@@ -1,0 +1,46 @@
+//! The [`StreamCipher`] abstraction shared by all generators.
+
+use pdsat_circuit::Circuit;
+
+/// A keystream generator in the "state → keystream" formulation used by the
+/// paper: the initialization phase is omitted and the unknown of the
+/// cryptanalysis problem is the register state at the end of initialization
+/// (for Bivium/Grain) or the session key loaded into the registers (A5/1).
+pub trait StreamCipher {
+    /// Human-readable cipher name used in reports ("A5/1", "Bivium", "Grain").
+    fn name(&self) -> &str;
+
+    /// Number of unknown state bits (177 for Bivium, 160 for Grain, 64 for
+    /// A5/1).
+    fn state_len(&self) -> usize;
+
+    /// Keystream length used in the paper's experiments (114, 200, 160).
+    fn default_keystream_len(&self) -> usize;
+
+    /// Register layout `(name, length)` in state-variable order; used by the
+    /// figure generators to draw decomposition sets over the registers.
+    fn register_layout(&self) -> Vec<(String, usize)>;
+
+    /// Generates `len` keystream bits from the given state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.state_len()`.
+    fn keystream(&self, state: &[bool], len: usize) -> Vec<bool>;
+
+    /// Builds the combinational circuit mapping the unknown state bits to
+    /// `len` keystream bits. Input `i` of the circuit is state bit `i`.
+    fn circuit(&self, len: usize) -> Circuit;
+}
+
+/// Checks that a circuit built by [`StreamCipher::circuit`] agrees with the
+/// bitwise reference implementation on one state (test helper shared by the
+/// cipher modules).
+#[cfg(test)]
+pub(crate) fn assert_circuit_matches<C: StreamCipher>(cipher: &C, state: &[bool], len: usize) {
+    let expected = cipher.keystream(state, len);
+    let circuit = cipher.circuit(len);
+    assert_eq!(circuit.num_inputs(), cipher.state_len());
+    let got = circuit.evaluate(state);
+    assert_eq!(got, expected, "{} circuit deviates from reference", cipher.name());
+}

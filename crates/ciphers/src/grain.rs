@@ -1,0 +1,272 @@
+//! The Grain v1 keystream generator.
+//!
+//! Grain v1 (Hell, Johansson & Meier 2007) combines an 80-bit NFSR `b` and an
+//! 80-bit LFSR `s` with a nonlinear filter `h`. Following the paper the
+//! initialization phase (160 blank rounds) is omitted: the unknown of the
+//! cryptanalysis problem is the 160-bit register state at the end of
+//! initialization and the observed keystream fragment is 160 bits.
+//!
+//! Update functions (all indices relative to the current step `i`):
+//!
+//! * LFSR: `s_{i+80} = s_{i+62} ⊕ s_{i+51} ⊕ s_{i+38} ⊕ s_{i+23} ⊕ s_{i+13} ⊕ s_i`
+//! * NFSR: `b_{i+80} = s_i ⊕ g(b)` where `g` is Grain's degree-6 feedback
+//!   polynomial (see [`NFSR_LINEAR_TAPS`] / [`NFSR_MONOMIALS`]).
+//! * Filter: `h(x)` on `x0 = s_{i+3}, x1 = s_{i+25}, x2 = s_{i+46},
+//!   x3 = s_{i+64}, x4 = b_{i+63}`.
+//! * Output: `z_i = ⊕_{k ∈ A} b_{i+k} ⊕ h(x)` with `A = {1, 2, 4, 10, 31, 43, 56}`.
+
+use crate::StreamCipher;
+use pdsat_circuit::{Circuit, Signal};
+
+/// Length of each register.
+pub const REGISTER_LEN: usize = 80;
+/// Total state size (160): NFSR bits first, then LFSR bits.
+pub const STATE_LEN: usize = 2 * REGISTER_LEN;
+/// Keystream length used in the paper's Grain experiments.
+pub const DEFAULT_KEYSTREAM_LEN: usize = 160;
+
+/// Linear NFSR feedback taps (added to `s_i`).
+pub const NFSR_LINEAR_TAPS: [usize; 12] = [62, 60, 52, 45, 37, 33, 28, 21, 14, 9, 0, 63];
+/// Nonlinear NFSR feedback monomials (each is ANDed and XORed in).
+pub const NFSR_MONOMIALS: [&[usize]; 11] = [
+    &[63, 60],
+    &[37, 33],
+    &[15, 9],
+    &[60, 52, 45],
+    &[33, 28, 21],
+    &[63, 45, 28, 9],
+    &[60, 52, 37, 33],
+    &[63, 60, 21, 15],
+    &[63, 60, 52, 45, 37],
+    &[33, 28, 21, 15, 9],
+    &[52, 45, 37, 33, 28, 21],
+];
+/// LFSR feedback taps.
+pub const LFSR_TAPS: [usize; 6] = [62, 51, 38, 23, 13, 0];
+/// NFSR taps added linearly into the output.
+pub const OUTPUT_NFSR_TAPS: [usize; 7] = [1, 2, 4, 10, 31, 43, 56];
+
+/// The Grain v1 generator in the state-recovery formulation.
+///
+/// State variable `i < 80` is NFSR cell `b_i`; state variable `80 + j` is
+/// LFSR cell `s_j`. The "last K cells of the second shift register" weakening
+/// of the paper (GrainK) therefore fixes state variables `160-K … 159`.
+///
+/// # Example
+///
+/// ```
+/// use pdsat_ciphers::{Grain, StreamCipher};
+/// let cipher = Grain::new();
+/// let state: Vec<bool> = (0..160).map(|i| i % 5 == 1).collect();
+/// let ks = cipher.keystream(&state, 12);
+/// assert_eq!(cipher.circuit(12).evaluate(&state), ks);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Grain;
+
+impl Grain {
+    /// Creates the cipher description.
+    #[must_use]
+    pub fn new() -> Grain {
+        Grain
+    }
+
+    /// The filter function `h` on plain booleans.
+    fn filter(x: [bool; 5]) -> bool {
+        let [x0, x1, x2, x3, x4] = x;
+        x1 ^ x4
+            ^ (x0 & x3)
+            ^ (x2 & x3)
+            ^ (x3 & x4)
+            ^ (x0 & x1 & x2)
+            ^ (x0 & x2 & x3)
+            ^ (x0 & x2 & x4)
+            ^ (x1 & x2 & x4)
+            ^ (x2 & x3 & x4)
+    }
+
+    /// The filter function `h` on circuit signals.
+    fn filter_circuit(c: &mut Circuit, x: [Signal; 5]) -> Signal {
+        let [x0, x1, x2, x3, x4] = x;
+        let terms = [
+            x1,
+            x4,
+            c.and_many(&[x0, x3]),
+            c.and_many(&[x2, x3]),
+            c.and_many(&[x3, x4]),
+            c.and_many(&[x0, x1, x2]),
+            c.and_many(&[x0, x2, x3]),
+            c.and_many(&[x0, x2, x4]),
+            c.and_many(&[x1, x2, x4]),
+            c.and_many(&[x2, x3, x4]),
+        ];
+        c.xor_many(&terms)
+    }
+}
+
+impl StreamCipher for Grain {
+    fn name(&self) -> &str {
+        "Grain"
+    }
+
+    fn state_len(&self) -> usize {
+        STATE_LEN
+    }
+
+    fn default_keystream_len(&self) -> usize {
+        DEFAULT_KEYSTREAM_LEN
+    }
+
+    fn register_layout(&self) -> Vec<(String, usize)> {
+        vec![
+            ("NFSR".to_string(), REGISTER_LEN),
+            ("LFSR".to_string(), REGISTER_LEN),
+        ]
+    }
+
+    fn keystream(&self, state: &[bool], len: usize) -> Vec<bool> {
+        assert_eq!(state.len(), STATE_LEN, "Grain state is 160 bits");
+        let mut b = state[..REGISTER_LEN].to_vec();
+        let mut s = state[REGISTER_LEN..].to_vec();
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let x = [s[3], s[25], s[46], s[64], b[63]];
+            let mut z = Self::filter(x);
+            for &k in &OUTPUT_NFSR_TAPS {
+                z ^= b[k];
+            }
+            out.push(z);
+
+            let lfsr_fb = LFSR_TAPS.iter().fold(false, |acc, &t| acc ^ s[t]);
+            let mut nfsr_fb = s[0];
+            for &t in &NFSR_LINEAR_TAPS {
+                nfsr_fb ^= b[t];
+            }
+            for monomial in &NFSR_MONOMIALS {
+                nfsr_fb ^= monomial.iter().fold(true, |acc, &t| acc & b[t]);
+            }
+            b.rotate_left(1);
+            b[REGISTER_LEN - 1] = nfsr_fb;
+            s.rotate_left(1);
+            s[REGISTER_LEN - 1] = lfsr_fb;
+        }
+        out
+    }
+
+    fn circuit(&self, len: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let inputs = c.inputs(STATE_LEN);
+        let mut b: Vec<Signal> = inputs[..REGISTER_LEN].to_vec();
+        let mut s: Vec<Signal> = inputs[REGISTER_LEN..].to_vec();
+        for _ in 0..len {
+            let x = [s[3], s[25], s[46], s[64], b[63]];
+            let h = Self::filter_circuit(&mut c, x);
+            let output_taps: Vec<Signal> = OUTPUT_NFSR_TAPS.iter().map(|&k| b[k]).collect();
+            let linear = c.xor_many(&output_taps);
+            let z = c.xor(h, linear);
+            c.add_output(z);
+
+            let lfsr_taps: Vec<Signal> = LFSR_TAPS.iter().map(|&t| s[t]).collect();
+            let lfsr_fb = c.xor_many(&lfsr_taps);
+
+            let mut nfsr_terms: Vec<Signal> = vec![s[0]];
+            nfsr_terms.extend(NFSR_LINEAR_TAPS.iter().map(|&t| b[t]));
+            for monomial in &NFSR_MONOMIALS {
+                let factors: Vec<Signal> = monomial.iter().map(|&t| b[t]).collect();
+                nfsr_terms.push(c.and_many(&factors));
+            }
+            let nfsr_fb = c.xor_many(&nfsr_terms);
+
+            b.rotate_left(1);
+            b[REGISTER_LEN - 1] = nfsr_fb;
+            s.rotate_left(1);
+            s[REGISTER_LEN - 1] = lfsr_fb;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::assert_circuit_matches;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(seed: u64) -> Vec<bool> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..STATE_LEN).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    #[test]
+    fn keystream_is_deterministic_and_sized() {
+        let cipher = Grain::new();
+        let state = random_state(7);
+        let a = cipher.keystream(&state, 160);
+        assert_eq!(a.len(), 160);
+        assert_eq!(a, cipher.keystream(&state, 160));
+    }
+
+    #[test]
+    fn zero_state_produces_zero_keystream() {
+        // All AND monomials and XOR taps vanish on the zero state.
+        let cipher = Grain::new();
+        let ks = cipher.keystream(&vec![false; STATE_LEN], 80);
+        assert!(ks.iter().all(|&z| !z));
+    }
+
+    #[test]
+    fn filter_function_truth_table_spot_checks() {
+        // h(0,1,0,0,0) = x1 = 1, h(0,0,0,1,1) = x4 ⊕ x3x4 = 0,
+        // h(1,0,1,1,0) = x0x3 ⊕ x2x3 ⊕ x0x2x3 = 1.
+        assert!(Grain::filter([false, true, false, false, false]));
+        assert!(!Grain::filter([false, false, false, true, true]));
+        assert!(Grain::filter([true, false, true, true, false]));
+    }
+
+    #[test]
+    fn lfsr_part_is_linear() {
+        // Flipping one LFSR bit changes the keystream by a pattern that is
+        // independent of the rest of the LFSR *only through h*; at minimum the
+        // keystreams must differ when the NFSR is zero.
+        let cipher = Grain::new();
+        let mut base = vec![false; STATE_LEN];
+        base[REGISTER_LEN + 25] = true; // s25 feeds h directly as x1
+        let ks_zero = cipher.keystream(&vec![false; STATE_LEN], 1);
+        let ks_flip = cipher.keystream(&base, 1);
+        assert!(!ks_zero[0]);
+        assert!(ks_flip[0]);
+    }
+
+    #[test]
+    fn output_taps_enter_linearly() {
+        let cipher = Grain::new();
+        let mut state = vec![false; STATE_LEN];
+        state[1] = true; // b1 is an output tap
+        let ks = cipher.keystream(&state, 1);
+        assert!(ks[0]);
+    }
+
+    #[test]
+    fn circuit_matches_reference_on_random_states() {
+        let cipher = Grain::new();
+        for seed in 0..5 {
+            assert_circuit_matches(&cipher, &random_state(seed), 24);
+        }
+    }
+
+    #[test]
+    fn layout_and_metadata() {
+        let cipher = Grain::new();
+        assert_eq!(cipher.state_len(), 160);
+        assert_eq!(cipher.default_keystream_len(), 160);
+        let layout = cipher.register_layout();
+        assert_eq!(layout[0].0, "NFSR");
+        assert_eq!(layout[1].0, "LFSR");
+    }
+
+    #[test]
+    #[should_panic(expected = "Grain state is 160 bits")]
+    fn wrong_state_length_panics() {
+        Grain::new().keystream(&[false; 80], 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Keystream generators and their SAT encodings.
+//!
+//! The paper evaluates its partitioning search on the logical cryptanalysis
+//! of three generators; this crate provides all three, each as
+//!
+//! * a bit-level reference implementation (used to produce keystreams and to
+//!   verify recovered states), and
+//! * a circuit description translated to CNF via [`pdsat_circuit`] — our
+//!   stand-in for the Transalg encodings used by the authors.
+//!
+//! | Generator | state bits | keystream (paper) |
+//! |-----------|-----------:|------------------:|
+//! | [`A51`]   | 64         | 114               |
+//! | [`Bivium`]| 177        | 200               |
+//! | [`Grain`] | 160        | 160               |
+//!
+//! The [`InstanceBuilder`] assembles cryptanalysis instances, including the
+//! weakened `BiviumK`/`GrainK` problems of the paper's Table 3 in which the
+//! last `K` cells of the second register are revealed.
+//!
+//! # Example
+//!
+//! ```
+//! use pdsat_ciphers::{A51, InstanceBuilder, StreamCipher};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let instance = InstanceBuilder::new(A51::new())
+//!     .keystream_len(32)
+//!     .build_random(&mut rng);
+//! assert_eq!(instance.state_vars().len(), A51::new().state_len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod a51;
+pub mod bivium;
+mod cipher;
+pub mod grain;
+mod instance;
+
+pub use a51::A51;
+pub use bivium::Bivium;
+pub use cipher::StreamCipher;
+pub use grain::Grain;
+pub use instance::{Instance, InstanceBuilder};

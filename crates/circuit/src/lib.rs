@@ -1,0 +1,42 @@
+//! Boolean circuit IR, simulator and Tseitin CNF encoder.
+//!
+//! This crate is the workspace's substitute for **Transalg**, the translator
+//! the paper uses to turn procedural descriptions of cryptographic functions
+//! into CNF. A cipher is described as a combinational [`Circuit`] over its
+//! unknown state bits; [`tseitin::encode`] turns the circuit into a CNF whose
+//! first variables are exactly those state bits, and
+//! [`Encoding::fix_outputs`] injects an observed keystream, yielding the
+//! inversion ("logical cryptanalysis") instance studied in the paper.
+//!
+//! # Example: encode a toy function and invert it
+//!
+//! ```
+//! use pdsat_circuit::{tseitin, Circuit};
+//!
+//! // f(a, b, c) = (a XOR b, b AND c)
+//! let mut circuit = Circuit::new();
+//! let ins = circuit.inputs(3);
+//! let o0 = circuit.xor(ins[0], ins[1]);
+//! let o1 = circuit.and(ins[1], ins[2]);
+//! circuit.add_outputs([o0, o1]);
+//!
+//! // Observe the output (1, 1) and ask which inputs produce it.
+//! let mut enc = tseitin::encode(&circuit);
+//! enc.fix_outputs(&[true, true]);
+//! let model = enc.cnf.brute_force_model().expect("the image point has a preimage");
+//! let a = model.value(enc.inputs[0]).to_bool().unwrap();
+//! let b = model.value(enc.inputs[1]).to_bool().unwrap();
+//! let c = model.value(enc.inputs[2]).to_bool().unwrap();
+//! assert_eq!(circuit.evaluate(&[a, b, c]), vec![true, true]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod node;
+pub mod tseitin;
+
+pub use circuit::Circuit;
+pub use node::{Gate, NodeId, Signal};
+pub use tseitin::{encode, EncodedOutput, Encoding};

@@ -1,0 +1,136 @@
+//! Property tests: the Tseitin encoding of a random circuit is
+//! model-equivalent to circuit simulation, checked with the CDCL solver.
+
+use pdsat_circuit::{tseitin, Circuit, EncodedOutput, Signal};
+use pdsat_cnf::Value;
+use pdsat_solver::{Solver, Verdict};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random circuit over `n` inputs with `g` gate-construction steps.
+fn random_circuit(seed: u64, n: usize, g: usize) -> Circuit {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new();
+    let mut pool: Vec<Signal> = c.inputs(n);
+    pool.push(c.constant(true));
+    pool.push(c.constant(false));
+    for _ in 0..g {
+        let pick = |rng: &mut rand::rngs::StdRng, pool: &[Signal]| pool[rng.gen_range(0..pool.len())];
+        let s = match rng.gen_range(0..6) {
+            0 => {
+                let a = pick(&mut rng, &pool);
+                c.not(a)
+            }
+            1 => {
+                let (a, b) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                c.and(a, b)
+            }
+            2 => {
+                let (a, b) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                c.or(a, b)
+            }
+            3 => {
+                let (a, b) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                c.xor(a, b)
+            }
+            4 => {
+                let (a, b, d) = (
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                );
+                c.maj(a, b, d)
+            }
+            _ => {
+                let (s, a, b) = (
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                );
+                c.mux(s, a, b)
+            }
+        };
+        pool.push(s);
+    }
+    // Use the last few signals as outputs.
+    let num_outputs = 3.min(pool.len());
+    for &s in pool.iter().rev().take(num_outputs) {
+        c.add_output(s);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every input assignment: the CNF with inputs fixed is satisfiable
+    /// and the output literals take exactly the simulated values.
+    #[test]
+    fn encoding_matches_simulation(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC1C0);
+        let n = rng.gen_range(2..6usize);
+        let g = rng.gen_range(1..25usize);
+        let circuit = random_circuit(seed, n, g);
+        let encoding = tseitin::encode(&circuit);
+
+        for bits in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let expected = circuit.evaluate(&inputs);
+
+            let mut solver = Solver::from_cnf(&encoding.cnf);
+            let assumptions: Vec<_> = encoding
+                .inputs
+                .iter()
+                .zip(&inputs)
+                .map(|(&v, &b)| v.lit(b))
+                .collect();
+            match solver.solve_with_assumptions(&assumptions) {
+                Verdict::Sat(model) => {
+                    for (o, &exp) in expected.iter().enumerate() {
+                        match encoding.outputs[o] {
+                            EncodedOutput::Lit(lit) => {
+                                prop_assert_eq!(
+                                    model.lit_value(lit),
+                                    Value::from(exp),
+                                    "output {} of circuit seed {} on inputs {:?}",
+                                    o, seed, inputs
+                                );
+                            }
+                            EncodedOutput::Const(b) => prop_assert_eq!(b, exp),
+                        }
+                    }
+                }
+                other => prop_assert!(false, "inputs fixed must be SAT, got {:?}", other),
+            }
+        }
+    }
+
+    /// Inverting the circuit through the encoding finds genuine preimages:
+    /// fix the outputs to the image of a random point and check that any
+    /// model's input part maps to the same image.
+    #[test]
+    fn inversion_finds_preimages(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let n = rng.gen_range(2..6usize);
+        let g = rng.gen_range(1..25usize);
+        let circuit = random_circuit(seed.wrapping_mul(3), n, g);
+
+        let secret: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let image = circuit.evaluate(&secret);
+
+        let mut encoding = tseitin::encode(&circuit);
+        encoding.fix_outputs(&image);
+        let mut solver = Solver::from_cnf(&encoding.cnf);
+        match solver.solve() {
+            Verdict::Sat(model) => {
+                let recovered: Vec<bool> = encoding
+                    .inputs
+                    .iter()
+                    .map(|&v| model.value(v).to_bool().unwrap_or(false))
+                    .collect();
+                prop_assert_eq!(circuit.evaluate(&recovered), image);
+            }
+            other => prop_assert!(false, "the secret itself is a model, got {:?}", other),
+        }
+    }
+}

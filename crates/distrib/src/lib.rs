@@ -1,0 +1,30 @@
+//! Discrete-event simulators for the computing substrates of the paper's
+//! evaluation: a homogeneous cluster partition and a BOINC-style volunteer
+//! computing grid (the SAT@home substitute).
+//!
+//! Both simulators consume the per-sub-problem costs produced by
+//! [`pdsat_core`]'s solving mode (or by the predictive function's sample) and
+//! answer the operational question the paper cares about: *how long does the
+//! whole decomposition family take on this machine?*
+//!
+//! # Example
+//!
+//! ```
+//! use pdsat_distrib::{simulate_cluster, ClusterConfig};
+//!
+//! // 480 cubes of one second each on the paper's 480-core configuration.
+//! let costs = vec![1.0; 480];
+//! let report = simulate_cluster(&costs, &[], &ClusterConfig::matrosov_15_nodes());
+//! assert!((report.makespan - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod volunteer;
+
+pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport};
+pub use volunteer::{
+    simulate_volunteer_grid, synthetic_host_population, GridConfig, GridReport, Host,
+};

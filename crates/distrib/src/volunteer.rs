@@ -1,0 +1,412 @@
+//! A BOINC-style volunteer computing grid simulator (SAT@home substitute).
+//!
+//! The paper solved its hardest A5/1 and Bivium9 instances in the volunteer
+//! project SAT@home (≈2–4 TFLOPS average performance, months of wall-clock
+//! time). We cannot deploy a BOINC project here, so this module provides a
+//! discrete-event simulation with the ingredients that matter for processing
+//! a decomposition family on donated hardware:
+//!
+//! * heterogeneous host speeds and availability (volunteers' PCs are only
+//!   sometimes on and only partly dedicated),
+//! * unreliable hosts (results that never come back and must be re-issued),
+//! * replication ("redundancy"), the standard BOINC validation strategy of
+//!   sending every work unit to several hosts,
+//! * work units that bundle many sub-problems to amortize scheduling
+//!   overhead — exactly how SAT@home packaged the cubes of a partitioning.
+
+use rand::{Rng, SeedableRng};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One volunteer host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Core speed relative to the reference core used for cost measurement.
+    pub speed: f64,
+    /// Fraction of wall-clock time the host actually crunches (0–1).
+    pub availability: f64,
+    /// Probability that an assigned work unit eventually returns a valid
+    /// result (the rest vanish and are re-issued after the deadline).
+    pub reliability: f64,
+}
+
+impl Host {
+    /// Effective throughput of the host relative to the reference core.
+    #[must_use]
+    pub fn effective_speed(&self) -> f64 {
+        self.speed * self.availability
+    }
+}
+
+/// Configuration of the volunteer grid simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Number of sub-problems bundled into one work unit.
+    pub work_unit_size: usize,
+    /// Number of valid results required per work unit (BOINC quorum;
+    /// SAT@home used replication 2).
+    pub redundancy: usize,
+    /// Deadline after which a missing result is re-issued, in the same unit
+    /// as the sub-problem costs (seconds).
+    pub deadline: f64,
+    /// Seed of the stochastic host behaviour.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            work_unit_size: 8,
+            redundancy: 2,
+            deadline: 86_400.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of the grid simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// Number of work units the family was split into.
+    pub work_units: usize,
+    /// Simulated wall-clock time until every work unit reached its quorum.
+    pub makespan: f64,
+    /// Total CPU time donated by hosts (including redundant and lost work).
+    pub donated_cpu_time: f64,
+    /// Number of results that were lost and triggered re-issues.
+    pub lost_results: usize,
+    /// Total number of work-unit assignments handed out.
+    pub assignments: usize,
+    /// Average effective throughput of the grid during the run, relative to
+    /// one reference core (the paper quotes SAT@home's performance in
+    /// teraflops; this is the analogous utilization figure).
+    pub average_throughput: f64,
+}
+
+/// Draws a synthetic volunteer population: log-normal-ish speed spread,
+/// beta-ish availability, high but imperfect reliability. Deterministic for a
+/// fixed seed.
+#[must_use]
+pub fn synthetic_host_population(count: usize, seed: u64) -> Vec<Host> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Speed: product of uniforms gives a right-skewed distribution in
+            // roughly [0.25, 2.5].
+            let speed = 0.25 + 2.25 * rng.gen::<f64>() * rng.gen::<f64>();
+            let availability = 0.2 + 0.8 * rng.gen::<f64>();
+            let reliability = 0.85 + 0.15 * rng.gen::<f64>();
+            Host {
+                speed,
+                availability,
+                reliability,
+            }
+        })
+        .collect()
+}
+
+#[derive(Debug, PartialEq)]
+struct Event {
+    time: f64,
+    host: usize,
+    work_unit: usize,
+    success: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by time (BinaryHeap is a max-heap, so reverse).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.host.cmp(&self.host))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates the processing of a decomposition family (given as per-cube
+/// costs on the reference core) on a volunteer grid.
+///
+/// # Panics
+///
+/// Panics if `hosts` is empty, `config.work_unit_size` is zero or
+/// `config.redundancy` is zero.
+#[must_use]
+pub fn simulate_volunteer_grid(
+    per_cube_costs: &[f64],
+    hosts: &[Host],
+    config: &GridConfig,
+) -> GridReport {
+    assert!(!hosts.is_empty(), "the grid needs at least one host");
+    assert!(config.work_unit_size > 0, "work units bundle at least one cube");
+    assert!(config.redundancy > 0, "the quorum must be positive");
+
+    // Bundle cubes into work units.
+    let wu_costs: Vec<f64> = per_cube_costs
+        .chunks(config.work_unit_size)
+        .map(|chunk| chunk.iter().sum())
+        .collect();
+    let work_units = wu_costs.len();
+    if work_units == 0 {
+        return GridReport {
+            work_units: 0,
+            makespan: 0.0,
+            donated_cpu_time: 0.0,
+            lost_results: 0,
+            assignments: 0,
+            average_throughput: 0.0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Outstanding result needs per work unit (starts at the quorum).
+    let mut needs: Vec<usize> = vec![config.redundancy; work_units];
+    let mut successes: Vec<usize> = vec![0; work_units];
+    let mut completed = 0usize;
+    let mut events: BinaryHeap<Event> = BinaryHeap::new();
+    let mut idle_hosts: Vec<usize> = (0..hosts.len()).collect();
+    let mut clock = 0.0f64;
+    let mut donated = 0.0f64;
+    let mut lost = 0usize;
+    let mut assignments = 0usize;
+
+    // Next work unit to hand out: round-robin over units that still need
+    // results, preferring lower indices (enumeration order, like SAT@home).
+    let dispatch = |idle: &mut Vec<usize>,
+                        needs: &mut Vec<usize>,
+                        events: &mut BinaryHeap<Event>,
+                        rng: &mut StdRng,
+                        clock: f64,
+                        donated: &mut f64,
+                        assignments: &mut usize| {
+        while let Some(&host_id) = idle.last() {
+            let Some(wu) = needs.iter().position(|&n| n > 0) else {
+                break;
+            };
+            idle.pop();
+            needs[wu] -= 1;
+            *assignments += 1;
+            let host = hosts[host_id];
+            let duration = wu_costs[wu] / host.effective_speed().max(1e-9);
+            let success = rng.gen_bool(host.reliability.clamp(0.0, 1.0));
+            let finish = if success {
+                clock + duration
+            } else {
+                // The result never arrives; the server notices at the deadline.
+                clock + duration.max(config.deadline)
+            };
+            *donated += duration;
+            events.push(Event {
+                time: finish,
+                host: host_id,
+                work_unit: wu,
+                success,
+            });
+        }
+    };
+
+    dispatch(
+        &mut idle_hosts,
+        &mut needs,
+        &mut events,
+        &mut rng,
+        clock,
+        &mut donated,
+        &mut assignments,
+    );
+
+    while completed < work_units {
+        let event = events.pop().expect("pending work implies pending events");
+        clock = event.time;
+        if event.success {
+            successes[event.work_unit] += 1;
+            if successes[event.work_unit] == config.redundancy {
+                completed += 1;
+            }
+        } else {
+            lost += 1;
+            // Re-issue: the work unit needs one more result.
+            if successes[event.work_unit] < config.redundancy {
+                needs[event.work_unit] += 1;
+            }
+        }
+        idle_hosts.push(event.host);
+        dispatch(
+            &mut idle_hosts,
+            &mut needs,
+            &mut events,
+            &mut rng,
+            clock,
+            &mut donated,
+            &mut assignments,
+        );
+    }
+
+    let average_throughput = if clock > 0.0 { donated / clock } else { 0.0 };
+    GridReport {
+        work_units,
+        makespan: clock,
+        donated_cpu_time: donated,
+        lost_results: lost,
+        assignments,
+        average_throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect_host() -> Host {
+        Host {
+            speed: 1.0,
+            availability: 1.0,
+            reliability: 1.0,
+        }
+    }
+
+    #[test]
+    fn single_perfect_host_without_redundancy_matches_sequential_time() {
+        let costs = vec![3.0, 2.0, 5.0, 1.0];
+        let config = GridConfig {
+            work_unit_size: 1,
+            redundancy: 1,
+            ..GridConfig::default()
+        };
+        let report = simulate_volunteer_grid(&costs, &[perfect_host()], &config);
+        assert_eq!(report.work_units, 4);
+        assert!((report.makespan - 11.0).abs() < 1e-9);
+        assert!((report.donated_cpu_time - 11.0).abs() < 1e-9);
+        assert_eq!(report.lost_results, 0);
+        assert_eq!(report.assignments, 4);
+    }
+
+    #[test]
+    fn redundancy_doubles_the_donated_cpu_time() {
+        let costs = vec![1.0; 32];
+        let base = GridConfig {
+            work_unit_size: 4,
+            redundancy: 1,
+            ..GridConfig::default()
+        };
+        let redundant = GridConfig {
+            redundancy: 2,
+            ..base
+        };
+        let hosts: Vec<Host> = (0..8).map(|_| perfect_host()).collect();
+        let single = simulate_volunteer_grid(&costs, &hosts, &base);
+        let double = simulate_volunteer_grid(&costs, &hosts, &redundant);
+        assert!((double.donated_cpu_time - 2.0 * single.donated_cpu_time).abs() < 1e-9);
+        assert!(double.makespan >= single.makespan);
+    }
+
+    #[test]
+    fn more_hosts_reduce_the_makespan() {
+        let costs = vec![2.0; 64];
+        let config = GridConfig {
+            work_unit_size: 2,
+            redundancy: 1,
+            ..GridConfig::default()
+        };
+        let few: Vec<Host> = (0..2).map(|_| perfect_host()).collect();
+        let many: Vec<Host> = (0..16).map(|_| perfect_host()).collect();
+        let slow = simulate_volunteer_grid(&costs, &few, &config);
+        let fast = simulate_volunteer_grid(&costs, &many, &config);
+        assert!(fast.makespan < slow.makespan);
+        // Same total work either way.
+        assert!((fast.donated_cpu_time - slow.donated_cpu_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreliable_hosts_cause_reissues_but_the_family_still_completes() {
+        let costs = vec![1.0; 40];
+        let hosts: Vec<Host> = (0..6)
+            .map(|_| Host {
+                speed: 1.0,
+                availability: 1.0,
+                reliability: 0.5,
+            })
+            .collect();
+        let config = GridConfig {
+            work_unit_size: 2,
+            redundancy: 1,
+            deadline: 10.0,
+            seed: 3,
+        };
+        let report = simulate_volunteer_grid(&costs, &hosts, &config);
+        assert_eq!(report.work_units, 20);
+        assert!(report.lost_results > 0, "with reliability 0.5 losses are expected");
+        assert!(report.assignments > report.work_units);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn availability_scales_effective_speed() {
+        let host = Host {
+            speed: 2.0,
+            availability: 0.5,
+            reliability: 1.0,
+        };
+        assert!((host.effective_speed() - 1.0).abs() < 1e-12);
+        let costs = vec![4.0; 4];
+        let config = GridConfig {
+            work_unit_size: 1,
+            redundancy: 1,
+            ..GridConfig::default()
+        };
+        let report = simulate_volunteer_grid(&costs, &[host], &config);
+        assert!((report.makespan - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_population_is_deterministic_and_plausible() {
+        let a = synthetic_host_population(50, 7);
+        let b = synthetic_host_population(50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for host in &a {
+            assert!(host.speed > 0.0 && host.speed < 3.0);
+            assert!(host.availability > 0.0 && host.availability <= 1.0);
+            assert!(host.reliability >= 0.85 && host.reliability <= 1.0);
+        }
+        let c = synthetic_host_population(50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_fixed_seed() {
+        let costs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let hosts = synthetic_host_population(10, 1);
+        let config = GridConfig {
+            seed: 42,
+            ..GridConfig::default()
+        };
+        let a = simulate_volunteer_grid(&costs, &hosts, &config);
+        let b = simulate_volunteer_grid(&costs, &hosts, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_family_is_trivial() {
+        let report =
+            simulate_volunteer_grid(&[], &[perfect_host()], &GridConfig::default());
+        assert_eq!(report.work_units, 0);
+        assert_eq!(report.makespan, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_grid_is_rejected() {
+        let _ = simulate_volunteer_grid(&[1.0], &[], &GridConfig::default());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figures 1, 2a, 2b of the paper: the three A5/1 decomposition
+//! sets drawn over the generator's registers.
+
+use pdsat_experiments::table1::run_table1;
+use pdsat_experiments::ScaledWorkload;
+
+fn main() {
+    let workload = ScaledWorkload::a51();
+    let result = run_table1(&workload);
+    for figure in &result.figures {
+        println!("{figure}");
+    }
+}

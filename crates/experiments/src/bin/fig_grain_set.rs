@@ -1,0 +1,43 @@
+//! Regenerates Figure 4 of the paper: the Grain decomposition set found by
+//! PDSAT drawn over the NFSR and LFSR.
+
+use pdsat_experiments::figures::render_instance_decomposition;
+use pdsat_experiments::{CipherKind, ScaledWorkload};
+use pdsat_core::{SearchLimits, TabuConfig, TabuSearch};
+
+fn main() {
+    let workload = ScaledWorkload::grain();
+    let instance = workload.build_instance();
+    let space = workload.search_space(&instance);
+    let mut evaluator = workload.evaluator(&instance);
+    let tabu = TabuSearch::new(TabuConfig {
+        limits: SearchLimits::unlimited().with_max_points(workload.search_points),
+        seed: workload.seed,
+        ..TabuConfig::default()
+    });
+    let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+
+    let figure = render_instance_decomposition(
+        &format!(
+            "Figure 4: decomposition set of {} variables found by tabu search for Grain (F = {:.3e})",
+            outcome.best_set.len(),
+            outcome.best_value
+        ),
+        &CipherKind::Grain.register_layout(),
+        &instance,
+        &outcome.best_set,
+    );
+    println!("{figure}");
+    let lfsr_vars = outcome
+        .best_set
+        .vars()
+        .iter()
+        .filter(|v| v.index() >= 80)
+        .count();
+    println!(
+        "{} of {} chosen variables lie in the LFSR (the paper's full-strength set of 69 \
+         variables lies entirely in the LFSR).",
+        lfsr_vars,
+        outcome.best_set.len()
+    );
+}

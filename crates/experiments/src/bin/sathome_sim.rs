@@ -1,0 +1,19 @@
+//! Simulates the §4.2 SAT@home deployment: processing A5/1 decomposition
+//! families on a volunteer computing grid.
+
+use pdsat_experiments::sathome::run_sathome;
+use pdsat_experiments::ScaledWorkload;
+
+fn main() {
+    let workload = ScaledWorkload::a51();
+    let hosts = 64;
+    let result = run_sathome(&workload, hosts);
+    println!("{}", result.table());
+    println!(
+        "Paper narrative: 10 full-strength instances over the S1 family were solved in \
+         SAT@home in ~5 months at ~2 TFLOPS (2011-2012); a second series over S3 completed \
+         in 2014. The simulation reproduces the operational picture: replication doubles the \
+         donated CPU time and host unreliability adds re-issues, while the family still \
+         completes in wall-clock time close to donated/throughput."
+    );
+}

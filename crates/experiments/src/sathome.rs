@@ -1,0 +1,175 @@
+//! Experiment: §4.2 of the paper — processing decomposition families in a
+//! volunteer computing project (SAT@home).
+//!
+//! The paper solved 10 A5/1 inversion instances in SAT@home between December
+//! 2011 and May 2012 (≈5 months at ≈2 TFLOPS) using the manual S1 set, and a
+//! second series in 2014 with the tabu-found S3 set. We cannot run a BOINC
+//! project, so this experiment processes a scaled family, measures the
+//! per-cube costs, and replays them through the volunteer-grid simulator with
+//! a synthetic host population — reporting the same operational quantities
+//! (makespan, donated CPU time, re-issues) plus the ideal-cluster baseline.
+
+use crate::scaled::{a51_manual_reference_set, CipherKind, ScaledWorkload};
+use crate::text_table::{sci, TextTable};
+use pdsat_core::{solve_family, SearchLimits, SolveModeConfig, TabuConfig, TabuSearch};
+use pdsat_distrib::{
+    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
+    GridConfig, GridReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// Result of one volunteer-grid replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatHomeRun {
+    /// Which decomposition set was used ("S1 (manual)" or "S3 (tabu)").
+    pub set_name: String,
+    /// Size of the decomposition set.
+    pub set_size: usize,
+    /// Sequential (1-core) cost of the whole family.
+    pub sequential_cost: f64,
+    /// Simulated volunteer-grid report.
+    pub grid: GridReport,
+    /// Makespan of the same family on an ideal dedicated cluster with as many
+    /// cores as the grid has hosts.
+    pub ideal_cluster_makespan: f64,
+}
+
+/// The full §4.2 experiment: both decomposition sets replayed on the same
+/// synthetic volunteer population.
+#[derive(Debug, Clone)]
+pub struct SatHomeResult {
+    /// The two runs (manual set, tabu set).
+    pub runs: Vec<SatHomeRun>,
+    /// Number of simulated volunteer hosts.
+    pub hosts: usize,
+}
+
+impl SatHomeResult {
+    /// Formats the result as a table.
+    #[must_use]
+    pub fn table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!(
+                "SAT@home simulation: processing A5/1 families on {} volunteer hosts",
+                self.hosts
+            ),
+            &[
+                "Set",
+                "|X̃|",
+                "Sequential cost",
+                "Grid makespan",
+                "Donated CPU",
+                "Lost results",
+                "Ideal cluster makespan",
+            ],
+        );
+        for run in &self.runs {
+            table.add_row([
+                run.set_name.clone(),
+                run.set_size.to_string(),
+                sci(run.sequential_cost),
+                sci(run.grid.makespan),
+                sci(run.grid.donated_cpu_time),
+                run.grid.lost_results.to_string(),
+                sci(run.ideal_cluster_makespan),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the scaled SAT@home experiment.
+#[must_use]
+pub fn run_sathome(workload: &ScaledWorkload, hosts: usize) -> SatHomeResult {
+    assert_eq!(workload.cipher, CipherKind::A51, "§4.2 is an A5/1 experiment");
+    let instance = workload.build_instance();
+    let space = workload.search_space(&instance);
+
+    // The two sets the paper deployed: the manual S1 and the tabu-found S3.
+    let manual = a51_manual_reference_set(&instance);
+    let mut evaluator = workload.evaluator(&instance);
+    let tabu = TabuSearch::new(TabuConfig {
+        limits: SearchLimits::unlimited().with_max_points(workload.search_points),
+        seed: workload.seed,
+        ..TabuConfig::default()
+    });
+    let tabu_set = tabu
+        .minimize(&space, &space.full_point(), &mut evaluator)
+        .best_set;
+
+    let population = synthetic_host_population(hosts, workload.seed);
+    let solve_config = SolveModeConfig {
+        cost: workload.cost_metric(),
+        num_workers: workload.num_workers,
+        ..SolveModeConfig::default()
+    };
+
+    let mut runs = Vec::new();
+    for (name, set) in [("S1 (manual)", manual), ("S3 (tabu)", tabu_set)] {
+        let report = solve_family(instance.cnf(), &set, &solve_config, None);
+        // BOINC deadlines are generous but commensurate with the work-unit
+        // size; scale the re-issue deadline to ~20 average work units so that
+        // lost results delay the run realistically instead of dominating it.
+        let work_unit_size = 8;
+        let mean_cube = report.total_cost / report.per_cube_costs.len().max(1) as f64;
+        let grid_config = GridConfig {
+            work_unit_size,
+            redundancy: 2,
+            deadline: (20.0 * work_unit_size as f64 * mean_cube).max(1.0),
+            seed: workload.seed,
+        };
+        let grid = simulate_volunteer_grid(&report.per_cube_costs, &population, &grid_config);
+        let cluster = simulate_cluster(
+            &report.per_cube_costs,
+            &[],
+            &ClusterConfig {
+                nodes: 1,
+                cores_per_node: hosts.max(1),
+                core_speed: 1.0,
+            },
+        );
+        runs.push(SatHomeRun {
+            set_name: name.to_string(),
+            set_size: set.len(),
+            sequential_cost: report.total_cost,
+            grid,
+            ideal_cluster_makespan: cluster.makespan,
+        });
+    }
+
+    SatHomeResult { runs, hosts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sathome_simulation_produces_two_consistent_runs() {
+        let mut workload = ScaledWorkload::tiny(CipherKind::A51);
+        workload.sample_size = 8;
+        workload.search_points = 5;
+        let result = run_sathome(&workload, 12);
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.hosts, 12);
+        for run in &result.runs {
+            assert!(run.set_size > 0);
+            assert!(run.sequential_cost >= 0.0);
+            // Replication 2 means at least twice the sequential work is
+            // donated (up to rounding of work units and lost results).
+            assert!(run.grid.donated_cpu_time >= 1.9 * run.sequential_cost - 1e-9);
+            // A best-effort volunteer grid is never faster than the ideal
+            // dedicated cluster with one core per host.
+            assert!(run.grid.makespan + 1e-9 >= run.ideal_cluster_makespan);
+        }
+        let rendered = result.table().render();
+        assert!(rendered.contains("S1 (manual)"));
+        assert!(rendered.contains("S3 (tabu)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "A5/1 experiment")]
+    fn rejects_non_a51_workloads() {
+        let _ = run_sathome(&ScaledWorkload::tiny(CipherKind::Grain), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! Simulated annealing minimization of the predictive function
+//! (Algorithm 1 of the paper).
+
+use crate::search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
+use crate::{Evaluator, Point, SearchSpace};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How the annealing temperature is compared against the change of the
+/// predictive function.
+///
+/// The predictive function takes astronomically large values (e.g. 4.45·10⁸
+/// seconds for A5/1 in the paper), so interpreting the temperature as an
+/// absolute quantity would require instance-specific tuning. The default
+/// divides the increase `F(χ̃) − F(χ)` by `F(χ)` before applying the
+/// Metropolis rule, which makes `T₀ ≈ 1` a sensible default for any
+/// instance. `Absolute` reproduces the textbook rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TemperatureScale {
+    /// Compare `exp(-(ΔF / F(χ_center)) / T)` (scale-free, default).
+    #[default]
+    RelativeToCurrent,
+    /// Compare `exp(-ΔF / T)` exactly as in the pseudocode.
+    Absolute,
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingConfig {
+    /// Initial temperature `T₀`.
+    pub initial_temperature: f64,
+    /// Cooling factor `Q ∈ (0, 1)`: `T_{i+1} = Q · T_i`.
+    pub cooling_factor: f64,
+    /// Temperature threshold `T_inf` below which the search stops
+    /// (`temperatureLimitReached()`).
+    pub min_temperature: f64,
+    /// Interpretation of the temperature (see [`TemperatureScale`]).
+    pub scale: TemperatureScale,
+    /// Global stopping criteria (`timeExceeded()` generalized).
+    pub limits: SearchLimits,
+    /// Seed of the random choices (which unchecked neighbour to evaluate,
+    /// Metropolis acceptance).
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            initial_temperature: 1.0,
+            cooling_factor: 0.95,
+            min_temperature: 1e-3,
+            scale: TemperatureScale::RelativeToCurrent,
+            limits: SearchLimits::unlimited().with_max_points(200),
+            seed: 0,
+        }
+    }
+}
+
+/// Simulated annealing minimizer of the predictive function.
+///
+/// Faithful to Algorithm 1: the transition `χ_i → χ_{i+1}` picks an unchecked
+/// point of the radius-`ρ` neighbourhood of the current centre, accepts
+/// improving points unconditionally and worsening points with the Metropolis
+/// probability, grows `ρ` when the whole neighbourhood is checked without an
+/// accepted transition, and cools the temperature after every evaluation.
+/// Unlike the pseudocode (which overwrites `⟨χ_best, F_best⟩` on every
+/// accepted transition, including uphill ones), the returned result is the
+/// best point *ever evaluated* — clearly the intended output.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    config: AnnealingConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates the minimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: AnnealingConfig) -> SimulatedAnnealing {
+        SimulatedAnnealing { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AnnealingConfig {
+        &self.config
+    }
+
+    /// Runs the minimization from `start` over `space`, evaluating the
+    /// predictive function with `evaluator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` has a different dimension than `space`.
+    pub fn minimize(
+        &self,
+        space: &SearchSpace,
+        start: &Point,
+        evaluator: &mut Evaluator,
+    ) -> SearchOutcome {
+        assert_eq!(
+            start.dimension(),
+            space.dimension(),
+            "start point must live in the search space"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let begin = Instant::now();
+        let mut history: Vec<SearchStep> = Vec::new();
+        let mut evaluated: HashMap<Point, f64> = HashMap::new();
+
+        let evaluate = |point: &Point,
+                            evaluator: &mut Evaluator,
+                            evaluated: &mut HashMap<Point, f64>|
+         -> f64 {
+            if let Some(&v) = evaluated.get(point) {
+                return v;
+            }
+            let set = space.decomposition_set(point);
+            let value = evaluator.evaluate(&set).value();
+            evaluated.insert(point.clone(), value);
+            value
+        };
+
+        let mut center = start.clone();
+        let mut center_value = evaluate(&center, evaluator, &mut evaluated);
+        let mut best_point = center.clone();
+        let mut best_value = center_value;
+        history.push(SearchStep {
+            index: 0,
+            point: center.clone(),
+            set_size: center.ones(),
+            value: center_value,
+            accepted: true,
+            is_best: true,
+            elapsed: begin.elapsed(),
+        });
+
+        let mut temperature = self.config.initial_temperature;
+        let stop;
+
+        'outer: loop {
+            let mut radius = 1usize;
+
+            'inner: loop {
+                if self
+                    .config
+                    .limits
+                    .exceeded(history.len(), begin.elapsed())
+                {
+                    stop = if self
+                        .config
+                        .limits
+                        .max_points
+                        .is_some_and(|m| history.len() >= m)
+                    {
+                        StopCondition::PointLimit
+                    } else {
+                        StopCondition::TimeLimit
+                    };
+                    break 'outer;
+                }
+                if temperature < self.config.min_temperature {
+                    stop = StopCondition::TemperatureFloor;
+                    break 'outer;
+                }
+
+                let neighborhood = space.neighborhood(&center, radius);
+                let unchecked: Vec<&Point> = neighborhood
+                    .iter()
+                    .filter(|p| !evaluated.contains_key(*p))
+                    .collect();
+
+                if unchecked.is_empty() {
+                    // The whole neighbourhood is checked without an accepted
+                    // transition: enlarge the radius (line 13-14 of Alg. 1).
+                    if radius >= space.dimension() {
+                        stop = StopCondition::SpaceExhausted;
+                        break 'outer;
+                    }
+                    radius += 1;
+                    continue 'inner;
+                }
+
+                let candidate = unchecked[rng.gen_range(0..unchecked.len())].clone();
+                let value = evaluate(&candidate, evaluator, &mut evaluated);
+
+                let accepted = if value < center_value {
+                    true
+                } else {
+                    let delta = match self.config.scale {
+                        TemperatureScale::Absolute => value - center_value,
+                        TemperatureScale::RelativeToCurrent => {
+                            if center_value > 0.0 {
+                                (value - center_value) / center_value
+                            } else {
+                                value - center_value
+                            }
+                        }
+                    };
+                    let probability = (-delta / temperature).exp();
+                    rng.gen_bool(probability.clamp(0.0, 1.0))
+                };
+
+                let is_best = value < best_value;
+                if is_best {
+                    best_value = value;
+                    best_point = candidate.clone();
+                }
+                history.push(SearchStep {
+                    index: history.len(),
+                    point: candidate.clone(),
+                    set_size: candidate.ones(),
+                    value,
+                    accepted,
+                    is_best,
+                    elapsed: begin.elapsed(),
+                });
+
+                // decreaseTemperature() — after every checked point, as in the
+                // pseudocode (line 15).
+                temperature *= self.config.cooling_factor;
+
+                if accepted {
+                    center = candidate;
+                    center_value = value;
+                    break 'inner;
+                }
+
+                let all_checked = neighborhood
+                    .iter()
+                    .all(|p| evaluated.contains_key(p));
+                if all_checked {
+                    if radius >= space.dimension() {
+                        stop = StopCondition::SpaceExhausted;
+                        break 'outer;
+                    }
+                    radius += 1;
+                }
+            }
+
+            if temperature < self.config.min_temperature {
+                stop = StopCondition::TemperatureFloor;
+                break;
+            }
+        }
+
+        let best_set = space.decomposition_set(&best_point);
+        SearchOutcome {
+            best_point,
+            best_set,
+            best_value,
+            points_evaluated: history.len(),
+            history,
+            wall_time: begin.elapsed(),
+            stop_condition: stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostMetric, EvaluatorConfig};
+    use pdsat_cnf::{Cnf, Lit, Var};
+
+    /// Unsatisfiable pigeonhole formula: 5 pigeons, 4 holes (20 variables).
+    fn pigeonhole() -> Cnf {
+        let (pigeons, holes) = (5, 4);
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn evaluator(cnf: &Cnf, sample: usize) -> Evaluator {
+        Evaluator::new(
+            cnf,
+            EvaluatorConfig {
+                sample_size: sample,
+                cost: CostMetric::Conflicts,
+                ..EvaluatorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn annealing_improves_on_the_starting_point() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..8).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 16);
+        let sa = SimulatedAnnealing::new(AnnealingConfig {
+            limits: SearchLimits::unlimited().with_max_points(40),
+            seed: 3,
+            ..AnnealingConfig::default()
+        });
+        let outcome = sa.minimize(&space, &start, &mut eval);
+        assert!(outcome.points_evaluated <= 40);
+        assert!(outcome.best_value <= outcome.history[0].value);
+        assert_eq!(outcome.best_set, space.decomposition_set(&outcome.best_point));
+        assert!(!outcome.history.is_empty());
+        // The trace never increases.
+        let trace = outcome.best_value_trace();
+        assert!(trace.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn annealing_is_reproducible_for_a_fixed_seed() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..6).map(Var::new));
+        let start = space.full_point();
+        let run = |seed| {
+            let mut eval = evaluator(&cnf, 8);
+            let sa = SimulatedAnnealing::new(AnnealingConfig {
+                limits: SearchLimits::unlimited().with_max_points(20),
+                seed,
+                ..AnnealingConfig::default()
+            });
+            let out = sa.minimize(&space, &start, &mut eval);
+            (out.best_point.clone(), out.best_value)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn temperature_floor_stops_the_search() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..5).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 4);
+        let sa = SimulatedAnnealing::new(AnnealingConfig {
+            initial_temperature: 1.0,
+            cooling_factor: 0.1,
+            min_temperature: 0.5,
+            limits: SearchLimits::unlimited(),
+            seed: 1,
+            ..AnnealingConfig::default()
+        });
+        let outcome = sa.minimize(&space, &start, &mut eval);
+        assert_eq!(outcome.stop_condition, StopCondition::TemperatureFloor);
+        // One initial evaluation plus very few steps before the temperature
+        // drops below the floor.
+        assert!(outcome.points_evaluated <= 10);
+    }
+
+    #[test]
+    fn point_limit_is_respected_exactly() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..6).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 4);
+        let sa = SimulatedAnnealing::new(AnnealingConfig {
+            limits: SearchLimits::unlimited().with_max_points(5),
+            seed: 11,
+            ..AnnealingConfig::default()
+        });
+        let outcome = sa.minimize(&space, &start, &mut eval);
+        assert_eq!(outcome.points_evaluated, 5);
+        assert_eq!(outcome.stop_condition, StopCondition::PointLimit);
+    }
+
+    #[test]
+    #[should_panic(expected = "start point must live in the search space")]
+    fn dimension_mismatch_panics() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..6).map(Var::new));
+        let other = SearchSpace::new((0..4).map(Var::new));
+        let mut eval = evaluator(&cnf, 2);
+        let sa = SimulatedAnnealing::new(AnnealingConfig::default());
+        let _ = sa.minimize(&space, &other.full_point(), &mut eval);
+    }
+}

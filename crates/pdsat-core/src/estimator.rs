@@ -1,0 +1,294 @@
+//! Monte Carlo statistics: sample moments, confidence intervals (eq. (3) of
+//! the paper) and the predictive-function value (eq. (5)).
+
+use serde::{Deserialize, Serialize};
+
+/// Sample moments of a set of observations `ζ_1 … ζ_N`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Number of observations `N`.
+    pub n: usize,
+    /// Sample mean `(1/N) Σ ζ_j`.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+}
+
+impl SampleStats {
+    /// Computes sample statistics. Returns `n = 0`, zero mean/variance for an
+    /// empty slice.
+    #[must_use]
+    pub fn from_observations(values: &[f64]) -> SampleStats {
+        let n = values.len();
+        if n == 0 {
+            return SampleStats {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        SampleStats { n, mean, variance }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean, `σ/√N`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the CLT confidence interval at confidence level `gamma`
+    /// — the `δ_γ·σ/√N` of eq. (3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly between 0 and 1.
+    #[must_use]
+    pub fn confidence_half_width(&self, gamma: f64) -> f64 {
+        assert!(gamma > 0.0 && gamma < 1.0, "confidence level must lie in (0,1)");
+        // In eq. (3) γ = Φ(δ_γ) with Φ the standard normal CDF, i.e. the
+        // deviation threshold is the γ-quantile of the normal distribution.
+        let delta = normal_quantile(gamma);
+        delta * self.std_error()
+    }
+}
+
+/// The value of the predictive function for one decomposition set, together
+/// with the Monte Carlo estimate it is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictiveEstimate {
+    /// Size `d` of the decomposition set.
+    pub set_size: usize,
+    /// Number of sampled sub-problems `N`.
+    pub sample_size: usize,
+    /// Sample mean of the per-sub-problem cost (seconds, or solver counters).
+    pub mean_cost: f64,
+    /// Sample standard deviation of the per-sub-problem cost.
+    pub std_dev: f64,
+    /// The predictive function value `F = 2^d · mean` (eq. (5)).
+    pub value: f64,
+}
+
+impl PredictiveEstimate {
+    /// Builds the estimate from raw observations.
+    #[must_use]
+    pub fn from_observations(set_size: usize, observations: &[f64]) -> PredictiveEstimate {
+        let stats = SampleStats::from_observations(observations);
+        let scale = 2f64.powi(set_size as i32);
+        PredictiveEstimate {
+            set_size,
+            sample_size: stats.n,
+            mean_cost: stats.mean,
+            std_dev: stats.std_dev(),
+            value: scale * stats.mean,
+        }
+    }
+
+    /// Half-width of the confidence interval around [`value`](Self::value) at
+    /// level `gamma` (the per-observation CLT interval scaled by `2^d`).
+    #[must_use]
+    pub fn confidence_half_width(&self, gamma: f64) -> f64 {
+        let stats = SampleStats {
+            n: self.sample_size,
+            mean: self.mean_cost,
+            variance: self.std_dev * self.std_dev,
+        };
+        2f64.powi(self.set_size as i32) * stats.confidence_half_width(gamma)
+    }
+
+    /// Extrapolates the sequential estimate to `cores` identical cores by
+    /// dividing (the paper's "estimation for 480 CPU cores is based on the
+    /// estimation for 1 CPU core").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn per_cores(&self, cores: usize) -> f64 {
+        assert!(cores > 0, "at least one core is required");
+        self.value / cores as f64
+    }
+}
+
+/// Quantile function (inverse CDF) of the standard normal distribution.
+///
+/// Uses the Acklam rational approximation, accurate to about 1.15e-9 over the
+/// whole open interval — far more than needed for confidence reporting.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must lie strictly in (0,1)");
+    // Coefficients of the Acklam approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ`.
+///
+/// Implemented via the complementary error function (Abramowitz–Stegun 7.1.26
+/// style polynomial), accurate to ~1e-7 which is ample for reporting.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    // Φ(x) = 0.5 · erfc(-x/√2)
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    // Numerical Recipes' rational Chebyshev approximation of erfc.
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_basic_moments() {
+        let stats = SampleStats::from_observations(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.n, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert!((stats.std_error() - stats.std_dev() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let empty = SampleStats::from_observations(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = SampleStats::from_observations(&[7.0]);
+        assert_eq!(single.mean, 7.0);
+        assert_eq!(single.variance, 0.0);
+        let constant = SampleStats::from_observations(&[3.0; 10]);
+        assert_eq!(constant.variance, 0.0);
+        assert_eq!(constant.confidence_half_width(0.95), 0.0);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.95) - 1.644_853_627).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.999) - 3.090_232_306).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_is_inverse_of_quantile() {
+        for &p in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn predictive_estimate_scales_by_two_to_the_d() {
+        let est = PredictiveEstimate::from_observations(10, &[2.0, 4.0]);
+        assert_eq!(est.set_size, 10);
+        assert_eq!(est.sample_size, 2);
+        assert!((est.mean_cost - 3.0).abs() < 1e-12);
+        assert!((est.value - 1024.0 * 3.0).abs() < 1e-9);
+        assert!((est.per_cores(8) - est.value / 8.0).abs() < 1e-12);
+        assert!(est.confidence_half_width(0.95) > 0.0);
+    }
+
+    #[test]
+    fn estimate_from_exhaustive_sample_is_exact() {
+        // If the sample is the entire family, F equals the true total time.
+        let per_cube = [1.0, 3.0, 2.0, 6.0];
+        let est = PredictiveEstimate::from_observations(2, &per_cube);
+        assert!((est.value - per_cube.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie strictly in (0,1)")]
+    fn quantile_rejects_bad_input() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn per_cores_rejects_zero() {
+        let est = PredictiveEstimate::from_observations(2, &[1.0]);
+        let _ = est.per_cores(0);
+    }
+}

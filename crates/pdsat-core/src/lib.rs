@@ -1,0 +1,87 @@
+//! Monte Carlo estimation of SAT partitioning effectiveness and metaheuristic
+//! search for good decomposition sets.
+//!
+//! This crate implements the contribution of Semenov & Zaikin, *"Using Monte
+//! Carlo Method for Searching Partitionings of Hard Variants of Boolean
+//! Satisfiability Problem"* (PaCT 2015) — the algorithms behind their PDSAT
+//! tool:
+//!
+//! 1. **Partitionings.** A [`DecompositionSet`] `X̃` of `d` variables splits a
+//!    SAT instance `C` into the decomposition family `Δ_C(X̃)` of `2^d`
+//!    sub-problems (one per cube over `X̃`).
+//! 2. **Predictive function.** The total sequential time to process the
+//!    family is `t_{C,A}(X̃) = 2^d · E[ξ]`, where `ξ` is the solver time on a
+//!    uniformly random cube. The [`Evaluator`] estimates it by the Monte
+//!    Carlo method — the predictive function `F(χ)` of eq. (5) — with CLT
+//!    confidence intervals ([`PredictiveEstimate`], [`SampleStats`]).
+//! 3. **Minimization.** [`SimulatedAnnealing`] (Algorithm 1) and
+//!    [`TabuSearch`] (Algorithm 2) minimize `F` over points of a
+//!    [`SearchSpace`] — normally `2^{X̃_start}` where `X̃_start` is the Strong
+//!    UP-backdoor set of state variables.
+//! 4. **Solving mode.** [`solve_family`] processes the whole family of the
+//!    best set found (on a thread-pool stand-in for PDSAT's MPI workers), and
+//!    [`ParallelSystem`] extrapolates sequential estimates to a cluster.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pdsat_cnf::{Cnf, Lit, Var};
+//! use pdsat_core::{
+//!     CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace, TabuConfig, TabuSearch,
+//! };
+//!
+//! // A toy unsatisfiable formula (pigeonhole 4→3).
+//! let (pigeons, holes) = (4, 3);
+//! let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+//! let mut cnf = Cnf::new(pigeons * holes);
+//! for i in 0..pigeons {
+//!     cnf.add_clause((0..holes).map(|j| var(i, j)));
+//! }
+//! for j in 0..holes {
+//!     for i1 in 0..pigeons {
+//!         for i2 in (i1 + 1)..pigeons {
+//!             cnf.add_clause([!var(i1, j), !var(i2, j)]);
+//!         }
+//!     }
+//! }
+//!
+//! // Search for a good decomposition set over the first 6 variables.
+//! let space = SearchSpace::new((0..6).map(Var::new));
+//! let mut evaluator = Evaluator::new(
+//!     &cnf,
+//!     EvaluatorConfig { sample_size: 8, cost: CostMetric::Conflicts, ..EvaluatorConfig::default() },
+//! );
+//! let tabu = TabuSearch::new(TabuConfig {
+//!     limits: SearchLimits::unlimited().with_max_points(15),
+//!     ..TabuConfig::default()
+//! });
+//! let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+//! assert!(outcome.best_value.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod cost;
+mod decomposition;
+mod estimator;
+mod extrapolate;
+mod predict;
+mod runner;
+mod search;
+mod solve_mode;
+mod space;
+mod tabu;
+
+pub use anneal::{AnnealingConfig, SimulatedAnnealing, TemperatureScale};
+pub use cost::CostMetric;
+pub use decomposition::{CubeIter, DecompositionSet};
+pub use estimator::{normal_cdf, normal_quantile, PredictiveEstimate, SampleStats};
+pub use extrapolate::ParallelSystem;
+pub use predict::{Evaluator, EvaluatorConfig, PointEvaluation, SampleVerdicts};
+pub use runner::{solve_cube_batch, BatchConfig, BatchResult, CubeOutcome, VerdictSummary};
+pub use search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
+pub use solve_mode::{solve_cubes, solve_family, SolveModeConfig, SolveReport};
+pub use space::{Point, SearchSpace};
+pub use tabu::{NewCenterHeuristic, TabuConfig, TabuSearch};

@@ -1,0 +1,416 @@
+//! The predictive function `F_{C,A}(X̃)` (eq. (5) of the paper) and its
+//! evaluator.
+
+use crate::runner::{solve_cube_batch, BatchConfig, VerdictSummary};
+use crate::{CostMetric, DecompositionSet, PredictiveEstimate};
+use pdsat_cnf::{Assignment, Cnf, Cube, Var};
+use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of the predictive-function evaluator.
+#[derive(Debug, Clone)]
+pub struct EvaluatorConfig {
+    /// Sample size `N` (the paper uses 10⁴ for A5/1 and 10⁵ for
+    /// Bivium/Grain; scaled-down experiments use much smaller values).
+    pub sample_size: usize,
+    /// Cost metric recorded per sampled sub-problem.
+    pub cost: CostMetric,
+    /// Resource budget per sampled sub-problem (unlimited by default; a
+    /// per-cube budget is useful early in the search when very bad points
+    /// would otherwise dominate the running time).
+    pub per_cube_budget: Budget,
+    /// Solver configuration (the deterministic algorithm `A`).
+    pub solver_config: SolverConfig,
+    /// Number of worker threads used to process a sample.
+    pub num_workers: usize,
+    /// Base random seed; together with the evaluation counter it determines
+    /// the random sample drawn for each point.
+    pub seed: u64,
+    /// Reuse one incremental solver per worker. Off by default: a fresh
+    /// solver per sampled cube keeps the observations `ζ_j` identically
+    /// distributed, which is what the Monte Carlo argument of the paper
+    /// assumes. Turning it on trades a small bias for a large speed-up (an
+    /// ablation in the benchmark suite quantifies the difference).
+    pub reuse_solvers: bool,
+}
+
+impl Default for EvaluatorConfig {
+    fn default() -> Self {
+        EvaluatorConfig {
+            sample_size: 100,
+            cost: CostMetric::default(),
+            per_cube_budget: Budget::unlimited(),
+            solver_config: SolverConfig::default(),
+            num_workers: 1,
+            seed: 0,
+            reuse_solvers: false,
+        }
+    }
+}
+
+/// Counts of sub-problem verdicts inside one sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleVerdicts {
+    /// Satisfiable sub-problems.
+    pub sat: usize,
+    /// Unsatisfiable sub-problems.
+    pub unsat: usize,
+    /// Undecided sub-problems (per-cube budget exhausted).
+    pub unknown: usize,
+}
+
+/// The result of evaluating the predictive function at one point of the
+/// search space.
+#[derive(Debug, Clone)]
+pub struct PointEvaluation {
+    /// The decomposition set that was evaluated.
+    pub set: DecompositionSet,
+    /// The Monte Carlo estimate, including `F` itself
+    /// ([`PredictiveEstimate::value`]).
+    pub estimate: PredictiveEstimate,
+    /// Raw per-sub-problem costs `ζ_1 … ζ_N`.
+    pub observations: Vec<f64>,
+    /// Verdict counts over the sample.
+    pub verdicts: SampleVerdicts,
+    /// A model found incidentally (some sampled sub-problem was satisfiable).
+    pub model: Option<Assignment>,
+    /// Wall-clock time spent evaluating this point.
+    pub wall_time: Duration,
+}
+
+impl PointEvaluation {
+    /// The predictive function value `F_{C,A}(X̃)`.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.estimate.value
+    }
+}
+
+/// Evaluator of the predictive function for a fixed SAT instance.
+///
+/// The evaluator owns the formula and accumulates per-variable conflict
+/// activity over everything it solves; the tabu search uses that accumulated
+/// activity to pick new neighbourhood centres (§3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use pdsat_cnf::{Cnf, Lit, Var};
+/// use pdsat_core::{CostMetric, DecompositionSet, Evaluator, EvaluatorConfig};
+///
+/// // A tiny chain formula.
+/// let mut cnf = Cnf::new(4);
+/// for i in 0..3u32 {
+///     cnf.add_clause([Lit::negative(Var::new(i)), Lit::positive(Var::new(i + 1))]);
+/// }
+/// let config = EvaluatorConfig {
+///     sample_size: 8,
+///     cost: CostMetric::Propagations,
+///     ..EvaluatorConfig::default()
+/// };
+/// let mut evaluator = Evaluator::new(&cnf, config);
+/// let set = DecompositionSet::new([Var::new(0), Var::new(1)]);
+/// let eval = evaluator.evaluate(&set);
+/// assert_eq!(eval.observations.len(), 8);
+/// assert!(eval.value() >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator {
+    cnf: Cnf,
+    config: EvaluatorConfig,
+    evaluations: u64,
+    cubes_solved: u64,
+    conflict_activity: Vec<u64>,
+    total_solve_wall: Duration,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for the given formula.
+    #[must_use]
+    pub fn new(cnf: &Cnf, config: EvaluatorConfig) -> Evaluator {
+        let num_vars = cnf.num_vars();
+        Evaluator {
+            cnf: cnf.clone(),
+            config,
+            evaluations: 0,
+            cubes_solved: 0,
+            conflict_activity: vec![0; num_vars],
+            total_solve_wall: Duration::ZERO,
+        }
+    }
+
+    /// The formula being analysed.
+    #[must_use]
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The evaluator configuration.
+    #[must_use]
+    pub fn config(&self) -> &EvaluatorConfig {
+        &self.config
+    }
+
+    /// Number of points evaluated so far.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of sub-problems solved so far.
+    #[must_use]
+    pub fn cubes_solved(&self) -> u64 {
+        self.cubes_solved
+    }
+
+    /// Total wall-clock time spent solving sub-problems.
+    #[must_use]
+    pub fn total_solve_wall(&self) -> Duration {
+        self.total_solve_wall
+    }
+
+    /// Accumulated per-variable conflict participation over every
+    /// sub-problem solved by this evaluator.
+    #[must_use]
+    pub fn conflict_activity(&self) -> &[u64] {
+        &self.conflict_activity
+    }
+
+    /// Total accumulated conflict activity of the variables of `set` — the
+    /// quantity maximized by the tabu heuristic `getNewCenter`.
+    #[must_use]
+    pub fn activity_of_set(&self, set: &DecompositionSet) -> u64 {
+        set.vars()
+            .iter()
+            .map(|v| self.conflict_activity.get(v.index()).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Evaluates the predictive function at `set` using a fresh random sample
+    /// of `N = config.sample_size` cubes.
+    pub fn evaluate(&mut self, set: &DecompositionSet) -> PointEvaluation {
+        // Derive a per-evaluation RNG so repeated runs of a whole search are
+        // reproducible while different points get independent samples.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.evaluations),
+        );
+        let cubes = set.random_sample(self.config.sample_size, &mut rng);
+        self.evaluate_with_sample(set, &cubes, None)
+    }
+
+    /// Evaluates the predictive function at `set` on a caller-provided sample
+    /// (used by tests, by the exhaustive cross-check of EXPERIMENTS.md and by
+    /// ablations that reuse one sample across configurations).
+    pub fn evaluate_with_sample(
+        &mut self,
+        set: &DecompositionSet,
+        cubes: &[Cube],
+        interrupt: Option<&InterruptFlag>,
+    ) -> PointEvaluation {
+        let batch_config = BatchConfig {
+            solver_config: self.config.solver_config.clone(),
+            budget: self.config.per_cube_budget.clone(),
+            cost: self.config.cost,
+            num_workers: self.config.num_workers,
+            collect_models: true,
+            stop_on_sat: false,
+            reuse_solvers: self.config.reuse_solvers,
+        };
+        let batch = solve_cube_batch(&self.cnf, cubes, &batch_config, interrupt);
+
+        for (acc, &c) in self
+            .conflict_activity
+            .iter_mut()
+            .zip(&batch.var_conflict_totals)
+        {
+            *acc += c;
+        }
+        self.evaluations += 1;
+        self.cubes_solved += batch.outcomes.len() as u64;
+        self.total_solve_wall += batch.wall_time;
+
+        let observations = batch.costs();
+        let estimate = PredictiveEstimate::from_observations(set.len(), &observations);
+        let mut verdicts = SampleVerdicts::default();
+        let mut model = None;
+        for outcome in &batch.outcomes {
+            match outcome.verdict {
+                VerdictSummary::Sat => {
+                    verdicts.sat += 1;
+                    if model.is_none() {
+                        model = outcome.model.clone();
+                    }
+                }
+                VerdictSummary::Unsat => verdicts.unsat += 1,
+                VerdictSummary::Unknown => verdicts.unknown += 1,
+            }
+        }
+
+        PointEvaluation {
+            set: set.clone(),
+            estimate,
+            observations,
+            verdicts,
+            model,
+            wall_time: batch.wall_time,
+        }
+    }
+
+    /// Evaluates the *exact* value of `t_{C,A}(X̃)` by enumerating the whole
+    /// decomposition family instead of sampling (only feasible for small
+    /// sets; used to validate the Monte Carlo estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than 63 variables.
+    pub fn evaluate_exhaustively(&mut self, set: &DecompositionSet) -> PointEvaluation {
+        let cubes: Vec<Cube> = set.cubes().collect();
+        self.evaluate_with_sample(set, &cubes, None)
+    }
+
+    /// Convenience: the starting decomposition set consisting of the given
+    /// variables restricted to the formula's variable range.
+    #[must_use]
+    pub fn restrict_to_formula(&self, vars: &[Var]) -> DecompositionSet {
+        DecompositionSet::new(
+            vars.iter()
+                .copied()
+                .filter(|v| v.index() < self.cnf.num_vars()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::Lit;
+
+    /// Small unsatisfiable pigeonhole formula.
+    fn pigeonhole(pigeons: usize) -> Cnf {
+        let holes = pigeons - 1;
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn conflicts_config(n: usize) -> EvaluatorConfig {
+        EvaluatorConfig {
+            sample_size: n,
+            cost: CostMetric::Conflicts,
+            ..EvaluatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn exhaustive_evaluation_equals_true_total() {
+        // With the whole family as the sample, F equals the exact total cost:
+        // 2^d · (1/2^d) Σ ζ = Σ ζ.
+        let cnf = pigeonhole(5);
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(0));
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let eval = evaluator.evaluate_exhaustively(&set);
+        assert_eq!(eval.observations.len(), 16);
+        let total: f64 = eval.observations.iter().sum();
+        assert!((eval.value() - total).abs() < 1e-9);
+        assert_eq!(eval.verdicts.sat, 0);
+        assert_eq!(eval.verdicts.unsat, 16);
+    }
+
+    #[test]
+    fn sampled_estimate_is_close_to_exhaustive_value_for_uniform_costs() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(64));
+        let sampled = evaluator.evaluate(&set);
+        let exact = evaluator.evaluate_exhaustively(&set);
+        // The sample is 4× the family size (with replacement), so the
+        // estimate should be within a factor of 2 of the truth for this
+        // well-behaved distribution.
+        assert!(sampled.value() > 0.0);
+        assert!(sampled.value() < 2.0 * exact.value() + 1e-9);
+        assert!(sampled.value() > 0.25 * exact.value());
+    }
+
+    #[test]
+    fn evaluation_counters_and_activity_accumulate() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new((0..3).map(Var::new));
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(8));
+        assert_eq!(evaluator.evaluations(), 0);
+        let _ = evaluator.evaluate(&set);
+        let _ = evaluator.evaluate(&set);
+        assert_eq!(evaluator.evaluations(), 2);
+        assert_eq!(evaluator.cubes_solved(), 16);
+        assert!(evaluator.activity_of_set(&set) <= evaluator.conflict_activity().iter().sum::<u64>());
+        assert!(evaluator.conflict_activity().iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn satisfiable_instances_produce_models() {
+        // Chain formula: every cube is satisfiable.
+        let mut cnf = Cnf::new(5);
+        for i in 0..4u32 {
+            cnf.add_clause([Lit::negative(Var::new(i)), Lit::positive(Var::new(i + 1))]);
+        }
+        let set = DecompositionSet::new([Var::new(0), Var::new(4)]);
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(6));
+        let eval = evaluator.evaluate(&set);
+        // The chain makes the cube (x0=1, x4=0) unsatisfiable; all other
+        // cubes are satisfiable, so a random sample of 6 contains SAT and
+        // possibly UNSAT observations but never Unknown ones.
+        assert!(eval.verdicts.sat >= 1);
+        assert_eq!(eval.verdicts.sat + eval.verdicts.unsat, 6);
+        assert_eq!(eval.verdicts.unknown, 0);
+        let model = eval.model.expect("some model is kept");
+        assert!(cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn larger_sets_scale_the_estimate_by_two_to_the_d() {
+        // For a formula where every cube costs essentially the same, doubling
+        // the set size roughly doubles F (2^{d+1}·mean vs 2^d·mean).
+        let cnf = pigeonhole(5);
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(32));
+        let small = DecompositionSet::new((0..2).map(Var::new));
+        let large = DecompositionSet::new((0..6).map(Var::new));
+        let f_small = evaluator.evaluate_exhaustively(&small).value();
+        let f_large = evaluator.evaluate(&large).value();
+        // Not exact (harder cubes get cheaper), but the scale factor must be
+        // visible: F(large) should exceed F(small).
+        assert!(f_large > f_small * 0.5, "f_large={f_large} f_small={f_small}");
+    }
+
+    #[test]
+    fn same_seed_gives_identical_estimates() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let run = || {
+            let mut evaluator = Evaluator::new(&cnf, conflicts_config(16));
+            evaluator.evaluate(&set).value()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restrict_to_formula_drops_foreign_vars() {
+        let cnf = pigeonhole(4);
+        let evaluator = Evaluator::new(&cnf, conflicts_config(1));
+        let set = evaluator.restrict_to_formula(&[Var::new(0), Var::new(100_000)]);
+        assert_eq!(set.len(), 1);
+    }
+}

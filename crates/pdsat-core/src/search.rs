@@ -1,0 +1,199 @@
+//! Common types for the metaheuristic minimization of the predictive
+//! function (§3 of the paper).
+
+use crate::{DecompositionSet, Point};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Stopping criteria shared by both metaheuristics.
+///
+/// The paper runs PDSAT "for 1 day on 2–5 cluster nodes"; the reproduction's
+/// experiments instead bound the number of evaluated points and/or the wall
+/// time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchLimits {
+    /// Maximum number of points whose predictive function value is computed.
+    pub max_points: Option<usize>,
+    /// Wall-clock limit for the whole search.
+    #[serde(with = "opt_duration_secs")]
+    pub time_limit: Option<Duration>,
+}
+
+impl SearchLimits {
+    /// No limits (the search only ends when its own termination condition
+    /// fires — temperature threshold or empty tabu list).
+    #[must_use]
+    pub fn unlimited() -> SearchLimits {
+        SearchLimits::default()
+    }
+
+    /// Limits the number of evaluated points.
+    #[must_use]
+    pub fn with_max_points(mut self, points: usize) -> SearchLimits {
+        self.max_points = Some(points);
+        self
+    }
+
+    /// Limits the total wall-clock time.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> SearchLimits {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// `true` when either limit is exceeded ("timeExceeded()" of the paper's
+    /// pseudocode, generalized).
+    #[must_use]
+    pub fn exceeded(&self, points_evaluated: usize, elapsed: Duration) -> bool {
+        if let Some(max) = self.max_points {
+            if points_evaluated >= max {
+                return true;
+            }
+        }
+        if let Some(limit) = self.time_limit {
+            if elapsed >= limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+mod opt_duration_secs {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Option<Duration>, s: S) -> Result<S::Ok, S::Error> {
+        d.map(|d| d.as_secs_f64()).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Option<Duration>, D::Error> {
+        let secs = Option::<f64>::deserialize(d)?;
+        Ok(secs.map(Duration::from_secs_f64))
+    }
+}
+
+/// Why a search run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// The point budget was exhausted.
+    PointLimit,
+    /// The wall-clock limit was exceeded.
+    TimeLimit,
+    /// Simulated annealing reached the minimal temperature.
+    TemperatureFloor,
+    /// Tabu search ran out of unchecked points (`L2 = ∅`).
+    SpaceExhausted,
+}
+
+/// One evaluated point in the trajectory of a search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchStep {
+    /// 0-based index of the evaluation.
+    pub index: usize,
+    /// The evaluated point.
+    pub point: Point,
+    /// Size of the corresponding decomposition set.
+    pub set_size: usize,
+    /// Predictive function value at the point.
+    pub value: f64,
+    /// Whether the point was accepted as the new centre (simulated annealing)
+    /// or improved the best known value (tabu search).
+    pub accepted: bool,
+    /// Whether the point became the best seen so far.
+    pub is_best: bool,
+    /// Time since the start of the search when the evaluation finished.
+    #[serde(with = "duration_secs")]
+    pub elapsed: Duration,
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+    }
+}
+
+/// The result of one metaheuristic run: the pair `⟨χ_best, F_best⟩` returned
+/// by Algorithms 1 and 2, plus the full trajectory for analysis.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best point found.
+    pub best_point: Point,
+    /// Decomposition set corresponding to the best point.
+    pub best_set: DecompositionSet,
+    /// Best (smallest) predictive function value found, `F_best`.
+    pub best_value: f64,
+    /// All evaluated points in evaluation order.
+    pub history: Vec<SearchStep>,
+    /// Number of points evaluated.
+    pub points_evaluated: usize,
+    /// Total wall-clock time of the search.
+    pub wall_time: Duration,
+    /// Why the search ended.
+    pub stop_condition: StopCondition,
+}
+
+impl SearchOutcome {
+    /// The best value observed after each evaluation (a non-increasing
+    /// sequence useful for convergence plots).
+    #[must_use]
+    pub fn best_value_trace(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.history
+            .iter()
+            .map(|s| {
+                best = best.min(s.value);
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_trigger_on_points_and_time() {
+        let limits = SearchLimits::unlimited()
+            .with_max_points(10)
+            .with_time_limit(Duration::from_secs(5));
+        assert!(!limits.exceeded(9, Duration::from_secs(1)));
+        assert!(limits.exceeded(10, Duration::from_secs(1)));
+        assert!(limits.exceeded(0, Duration::from_secs(5)));
+        assert!(!SearchLimits::unlimited().exceeded(1_000_000, Duration::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn best_value_trace_is_monotone() {
+        use crate::SearchSpace;
+        use pdsat_cnf::Var;
+        let space = SearchSpace::new((0..3).map(Var::new));
+        let mk = |i: usize, v: f64| SearchStep {
+            index: i,
+            point: space.full_point(),
+            set_size: 3,
+            value: v,
+            accepted: false,
+            is_best: false,
+            elapsed: Duration::ZERO,
+        };
+        let outcome = SearchOutcome {
+            best_point: space.full_point(),
+            best_set: space.decomposition_set(&space.full_point()),
+            best_value: 1.0,
+            history: vec![mk(0, 5.0), mk(1, 7.0), mk(2, 2.0), mk(3, 3.0)],
+            points_evaluated: 4,
+            wall_time: Duration::ZERO,
+            stop_condition: StopCondition::PointLimit,
+        };
+        assert_eq!(outcome.best_value_trace(), vec![5.0, 5.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! The "solving mode" of PDSAT: process an entire decomposition family.
+//!
+//! After the predictive function minimization has produced `X̃_best`, PDSAT
+//! is re-run in solving mode: all `2^{|X̃_best|}` assignments are generated
+//! and the corresponding sub-problems are solved (on the cluster, or in
+//! SAT@home). The paper's Table 3 reports, per weakened instance, the time to
+//! process the whole family and the time at which the satisfying assignment
+//! was encountered.
+
+use crate::runner::{solve_cube_batch, BatchConfig, VerdictSummary};
+use crate::{CostMetric, DecompositionSet};
+use pdsat_cnf::{Assignment, Cnf, Cube};
+use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of a solving-mode run.
+#[derive(Debug, Clone)]
+pub struct SolveModeConfig {
+    /// Solver configuration used for every sub-problem.
+    pub solver_config: SolverConfig,
+    /// Per-sub-problem budget (unlimited by default).
+    pub budget: Budget,
+    /// Cost metric accumulated per sub-problem.
+    pub cost: CostMetric,
+    /// Number of worker threads.
+    pub num_workers: usize,
+    /// Stop as soon as a satisfying assignment is found. The paper processes
+    /// whole families ("to get more statistical data we did not stop the
+    /// solving process after the satisfying solution was found"), which is
+    /// the default here as well.
+    pub stop_on_sat: bool,
+    /// Reuse one incremental solver per worker (the default: matches PDSAT's
+    /// long-lived MiniSat worker processes and is much faster than reloading
+    /// the clause database for every cube).
+    pub reuse_solvers: bool,
+}
+
+impl Default for SolveModeConfig {
+    fn default() -> Self {
+        SolveModeConfig {
+            solver_config: SolverConfig::default(),
+            budget: Budget::unlimited(),
+            cost: CostMetric::default(),
+            num_workers: 1,
+            stop_on_sat: false,
+            reuse_solvers: true,
+        }
+    }
+}
+
+/// Result of processing a decomposition family in solving mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Size `d` of the decomposition set.
+    pub set_size: usize,
+    /// Number of sub-problems actually processed (equals `2^d` unless
+    /// `stop_on_sat` cut the run short).
+    pub cubes_processed: usize,
+    /// Total sequential cost: the sum of per-sub-problem costs, i.e. the
+    /// quantity `t_{C,A}(X̃)` that the predictive function estimates.
+    pub total_cost: f64,
+    /// Cumulative cost up to and including the first satisfiable sub-problem
+    /// (in enumeration order), when one exists — the "Finding SAT" column of
+    /// Table 3, measured on one core.
+    pub cost_to_first_sat: Option<f64>,
+    /// Index of the first satisfiable cube, if any.
+    pub first_sat_index: Option<usize>,
+    /// Number of satisfiable sub-problems found.
+    pub sat_count: usize,
+    /// Number of undecided sub-problems (per-cube budget exhausted).
+    pub unknown_count: usize,
+    /// Wall-clock time of the run with the configured number of workers.
+    #[serde(with = "duration_secs")]
+    pub wall_time: Duration,
+    /// A model of the original formula extracted from the first satisfiable
+    /// sub-problem, if any.
+    #[serde(skip)]
+    pub model: Option<Assignment>,
+    /// Per-cube costs in enumeration order (useful for makespan simulation).
+    pub per_cube_costs: Vec<f64>,
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+    }
+}
+
+/// Processes the full decomposition family `Δ_C(X̃)` induced by `set`.
+///
+/// # Panics
+///
+/// Panics if the set has more than 63 variables (a family of that size cannot
+/// be enumerated; that regime is precisely what the Monte Carlo estimator is
+/// for).
+#[must_use]
+pub fn solve_family(
+    cnf: &Cnf,
+    set: &DecompositionSet,
+    config: &SolveModeConfig,
+    interrupt: Option<&InterruptFlag>,
+) -> SolveReport {
+    let cubes: Vec<Cube> = set.cubes().collect();
+    solve_cubes(cnf, set, &cubes, config, interrupt)
+}
+
+/// Processes an explicit list of cubes (a slice of a family, or a family
+/// filtered by external knowledge).
+#[must_use]
+pub fn solve_cubes(
+    cnf: &Cnf,
+    set: &DecompositionSet,
+    cubes: &[Cube],
+    config: &SolveModeConfig,
+    interrupt: Option<&InterruptFlag>,
+) -> SolveReport {
+    let batch_config = BatchConfig {
+        solver_config: config.solver_config.clone(),
+        budget: config.budget.clone(),
+        cost: config.cost,
+        num_workers: config.num_workers,
+        collect_models: true,
+        stop_on_sat: config.stop_on_sat,
+        reuse_solvers: config.reuse_solvers,
+    };
+    let batch = solve_cube_batch(cnf, cubes, &batch_config, interrupt);
+
+    let mut total_cost = 0.0;
+    let mut cost_to_first_sat = None;
+    let mut first_sat_index = None;
+    let mut sat_count = 0;
+    let mut unknown_count = 0;
+    let mut model = None;
+    for outcome in &batch.outcomes {
+        total_cost += outcome.cost;
+        match outcome.verdict {
+            VerdictSummary::Sat => {
+                sat_count += 1;
+                if first_sat_index.is_none() {
+                    first_sat_index = Some(outcome.index);
+                    cost_to_first_sat = Some(total_cost);
+                    model = outcome.model.clone();
+                }
+            }
+            VerdictSummary::Unknown => unknown_count += 1,
+            VerdictSummary::Unsat => {}
+        }
+    }
+
+    SolveReport {
+        set_size: set.len(),
+        cubes_processed: batch.outcomes.len(),
+        total_cost,
+        cost_to_first_sat,
+        first_sat_index,
+        sat_count,
+        unknown_count,
+        wall_time: batch.wall_time,
+        model,
+        per_cube_costs: batch.costs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::{Lit, Var};
+
+    fn pigeonhole(pigeons: usize) -> Cnf {
+        let holes = pigeons - 1;
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn config() -> SolveModeConfig {
+        SolveModeConfig {
+            cost: CostMetric::Conflicts,
+            ..SolveModeConfig::default()
+        }
+    }
+
+    #[test]
+    fn unsat_family_is_fully_processed() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..5).map(Var::new));
+        let report = solve_family(&cnf, &set, &config(), None);
+        assert_eq!(report.cubes_processed, 32);
+        assert_eq!(report.sat_count, 0);
+        assert!(report.cost_to_first_sat.is_none());
+        assert!(report.model.is_none());
+        assert_eq!(report.per_cube_costs.len(), 32);
+        assert!((report.total_cost - report.per_cube_costs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sat_family_reports_first_sat_and_model() {
+        // Chain formula with every cube satisfiable.
+        let mut cnf = Cnf::new(6);
+        for i in 0..5u32 {
+            cnf.add_clause([Lit::negative(Var::new(i)), Lit::positive(Var::new(i + 1))]);
+        }
+        let set = DecompositionSet::new([Var::new(0), Var::new(2)]);
+        let report = solve_family(&cnf, &set, &config(), None);
+        assert_eq!(report.cubes_processed, 4);
+        // The chain makes the cube (x1=1, x3=0) unsatisfiable.
+        assert_eq!(report.sat_count, 3);
+        assert_eq!(report.first_sat_index, Some(0));
+        assert!(report.cost_to_first_sat.unwrap() <= report.total_cost);
+        let model = report.model.expect("model extracted");
+        assert!(cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn solving_the_family_agrees_with_direct_solving() {
+        // If the original instance is UNSAT, every cube is UNSAT; if SAT, at
+        // least one cube is SAT. Check both on small formulas.
+        let unsat = pigeonhole(4);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let report = solve_family(&unsat, &set, &config(), None);
+        assert_eq!(report.sat_count, 0);
+
+        let mut sat = Cnf::new(4);
+        sat.add_clause([Lit::positive(Var::new(0)), Lit::positive(Var::new(3))]);
+        let report = solve_family(&sat, &set, &config(), None);
+        assert!(report.sat_count > 0);
+    }
+
+    #[test]
+    fn parallel_solving_mode_matches_sequential_totals() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let seq = solve_family(&cnf, &set, &config(), None);
+        let par = solve_family(
+            &cnf,
+            &set,
+            &SolveModeConfig {
+                num_workers: 4,
+                ..config()
+            },
+            None,
+        );
+        assert_eq!(seq.cubes_processed, par.cubes_processed);
+        assert_eq!(seq.total_cost, par.total_cost);
+        assert_eq!(seq.per_cube_costs, par.per_cube_costs);
+    }
+
+    #[test]
+    fn stop_on_sat_processes_fewer_cubes() {
+        let mut cnf = Cnf::new(8);
+        cnf.add_clause([Lit::positive(Var::new(7))]);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let full = solve_family(&cnf, &set, &config(), None);
+        let early = solve_family(
+            &cnf,
+            &set,
+            &SolveModeConfig {
+                stop_on_sat: true,
+                ..config()
+            },
+            None,
+        );
+        assert_eq!(full.cubes_processed, 16);
+        assert!(early.cubes_processed <= full.cubes_processed);
+        assert!(early.sat_count >= 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! Tabu search minimization of the predictive function
+//! (Algorithm 2 of the paper).
+
+use crate::search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
+use crate::{Evaluator, Point, SearchSpace};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// How `getNewCenter(L2)` picks the next centre when the current
+/// neighbourhood is exhausted without improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NewCenterHeuristic {
+    /// The point of `L2` whose decomposition set has the largest accumulated
+    /// conflict activity — the heuristic PDSAT uses (§3 of the paper).
+    #[default]
+    ConflictActivity,
+    /// The point of `L2` with the best (smallest) predictive function value.
+    BestValue,
+    /// A uniformly random point of `L2` (ablation baseline).
+    Random,
+}
+
+/// Parameters of Algorithm 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// Neighbourhood radius ρ (PDSAT uses 1).
+    pub radius: usize,
+    /// Heuristic used by `getNewCenter`.
+    pub new_center: NewCenterHeuristic,
+    /// Global stopping criteria.
+    pub limits: SearchLimits,
+    /// Seed of the random choice of unchecked neighbours.
+    pub seed: u64,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            radius: 1,
+            new_center: NewCenterHeuristic::ConflictActivity,
+            limits: SearchLimits::unlimited().with_max_points(200),
+            seed: 0,
+        }
+    }
+}
+
+/// Tabu search minimizer of the predictive function.
+///
+/// The two tabu lists of the paper are maintained explicitly: `L1` holds
+/// points whose whole neighbourhood has been checked, `L2` holds checked
+/// points with at least one unchecked neighbour. A point's value is never
+/// recomputed — exactly the purpose of the tabu lists, since every `F`
+/// evaluation costs `N` SAT solver runs.
+#[derive(Debug, Clone)]
+pub struct TabuSearch {
+    config: TabuConfig,
+}
+
+impl TabuSearch {
+    /// Creates the minimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: TabuConfig) -> TabuSearch {
+        TabuSearch { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TabuConfig {
+        &self.config
+    }
+
+    /// Runs the minimization from `start` over `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` has a different dimension than `space` or if the
+    /// configured radius is zero.
+    pub fn minimize(
+        &self,
+        space: &SearchSpace,
+        start: &Point,
+        evaluator: &mut Evaluator,
+    ) -> SearchOutcome {
+        assert_eq!(
+            start.dimension(),
+            space.dimension(),
+            "start point must live in the search space"
+        );
+        assert!(self.config.radius >= 1, "the neighbourhood radius must be positive");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let begin = Instant::now();
+
+        // All computed F values (the union of L1 and L2 plus bookkeeping).
+        let mut evaluated: HashMap<Point, f64> = HashMap::new();
+        let mut history: Vec<SearchStep> = Vec::new();
+        // L1: checked points whose neighbourhood is fully checked.
+        let mut l1: HashSet<Point> = HashSet::new();
+        // L2: checked points with unchecked neighbours.
+        let mut l2: Vec<Point> = Vec::new();
+
+        let evaluate = |point: &Point,
+                            evaluator: &mut Evaluator,
+                            evaluated: &mut HashMap<Point, f64>|
+         -> f64 {
+            debug_assert!(!evaluated.contains_key(point), "tabu lists forbid re-evaluation");
+            let set = space.decomposition_set(point);
+            let value = evaluator.evaluate(&set).value();
+            evaluated.insert(point.clone(), value);
+            value
+        };
+
+        let mut center = start.clone();
+        let mut best_point = center.clone();
+        let mut best_value = evaluate(&center, evaluator, &mut evaluated);
+        l2.push(center.clone());
+        history.push(SearchStep {
+            index: 0,
+            point: center.clone(),
+            set_size: center.ones(),
+            value: best_value,
+            accepted: true,
+            is_best: true,
+            elapsed: begin.elapsed(),
+        });
+
+        let stop;
+
+        'outer: loop {
+            let mut best_value_updated = false;
+
+            // Check the neighbourhood of the current centre.
+            loop {
+                if self.config.limits.exceeded(history.len(), begin.elapsed()) {
+                    stop = if self
+                        .config
+                        .limits
+                        .max_points
+                        .is_some_and(|m| history.len() >= m)
+                    {
+                        StopCondition::PointLimit
+                    } else {
+                        StopCondition::TimeLimit
+                    };
+                    break 'outer;
+                }
+
+                let neighborhood = space.neighborhood(&center, self.config.radius);
+                let unchecked: Vec<&Point> = neighborhood
+                    .iter()
+                    .filter(|p| !evaluated.contains_key(*p))
+                    .collect();
+                if unchecked.is_empty() {
+                    break; // the neighbourhood of χ_center is checked
+                }
+                let candidate = unchecked[rng.gen_range(0..unchecked.len())].clone();
+                let value = evaluate(&candidate, evaluator, &mut evaluated);
+
+                // markPointInTabuLists: the new point joins L2 (or L1 when its
+                // own neighbourhood is already fully checked), and points of
+                // L2 whose neighbourhood just became fully checked migrate to
+                // L1.
+                let candidate_checked = space
+                    .neighborhood(&candidate, self.config.radius)
+                    .iter()
+                    .all(|p| evaluated.contains_key(p));
+                if candidate_checked {
+                    l1.insert(candidate.clone());
+                } else {
+                    l2.push(candidate.clone());
+                }
+                let mut still_open = Vec::with_capacity(l2.len());
+                for p in l2.drain(..) {
+                    let checked = space
+                        .neighborhood(&p, self.config.radius)
+                        .iter()
+                        .all(|q| evaluated.contains_key(q));
+                    if checked {
+                        l1.insert(p);
+                    } else {
+                        still_open.push(p);
+                    }
+                }
+                l2 = still_open;
+
+                let is_best = value < best_value;
+                if is_best {
+                    best_value = value;
+                    best_point = candidate.clone();
+                    best_value_updated = true;
+                }
+                let set_size = candidate.ones();
+                history.push(SearchStep {
+                    index: history.len(),
+                    point: candidate,
+                    set_size,
+                    value,
+                    accepted: is_best,
+                    is_best,
+                    elapsed: begin.elapsed(),
+                });
+            }
+
+            if best_value_updated {
+                center = best_point.clone();
+            } else {
+                // getNewCenter(L2)
+                match self.pick_new_center(space, &l2, &evaluated, evaluator, &mut rng) {
+                    Some(next) => center = next,
+                    None => {
+                        stop = StopCondition::SpaceExhausted;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let best_set = space.decomposition_set(&best_point);
+        SearchOutcome {
+            best_point,
+            best_set,
+            best_value,
+            points_evaluated: history.len(),
+            history,
+            wall_time: begin.elapsed(),
+            stop_condition: stop,
+        }
+    }
+
+    fn pick_new_center<R: Rng>(
+        &self,
+        space: &SearchSpace,
+        l2: &[Point],
+        evaluated: &HashMap<Point, f64>,
+        evaluator: &Evaluator,
+        rng: &mut R,
+    ) -> Option<Point> {
+        if l2.is_empty() {
+            return None;
+        }
+        match self.config.new_center {
+            NewCenterHeuristic::Random => Some(l2[rng.gen_range(0..l2.len())].clone()),
+            NewCenterHeuristic::BestValue => l2
+                .iter()
+                .min_by(|a, b| {
+                    let va = evaluated.get(*a).copied().unwrap_or(f64::INFINITY);
+                    let vb = evaluated.get(*b).copied().unwrap_or(f64::INFINITY);
+                    va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned(),
+            NewCenterHeuristic::ConflictActivity => l2
+                .iter()
+                .max_by_key(|p| {
+                    let set = space.decomposition_set(p);
+                    evaluator.activity_of_set(&set)
+                })
+                .cloned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostMetric, EvaluatorConfig};
+    use pdsat_cnf::{Cnf, Lit, Var};
+
+    fn pigeonhole() -> Cnf {
+        let (pigeons, holes) = (5, 4);
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn evaluator(cnf: &Cnf, sample: usize) -> Evaluator {
+        Evaluator::new(
+            cnf,
+            EvaluatorConfig {
+                sample_size: sample,
+                cost: CostMetric::Conflicts,
+                ..EvaluatorConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn tabu_never_reevaluates_a_point() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..7).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 8);
+        let tabu = TabuSearch::new(TabuConfig {
+            limits: SearchLimits::unlimited().with_max_points(30),
+            seed: 5,
+            ..TabuConfig::default()
+        });
+        let outcome = tabu.minimize(&space, &start, &mut eval);
+        let mut seen = HashSet::new();
+        for step in &outcome.history {
+            assert!(
+                seen.insert(step.point.clone()),
+                "point evaluated twice: {}",
+                step.point
+            );
+        }
+        assert_eq!(eval.evaluations() as usize, outcome.points_evaluated);
+    }
+
+    #[test]
+    fn tabu_improves_on_the_starting_point() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..8).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 16);
+        let tabu = TabuSearch::new(TabuConfig {
+            limits: SearchLimits::unlimited().with_max_points(50),
+            seed: 2,
+            ..TabuConfig::default()
+        });
+        let outcome = tabu.minimize(&space, &start, &mut eval);
+        assert!(outcome.best_value <= outcome.history[0].value);
+        assert!(outcome.points_evaluated <= 50);
+        assert_eq!(outcome.best_set, space.decomposition_set(&outcome.best_point));
+    }
+
+    #[test]
+    fn exhausting_a_tiny_space_stops_cleanly() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..3).map(Var::new));
+        let start = space.full_point();
+        let mut eval = evaluator(&cnf, 4);
+        let tabu = TabuSearch::new(TabuConfig {
+            limits: SearchLimits::unlimited(),
+            seed: 1,
+            ..TabuConfig::default()
+        });
+        let outcome = tabu.minimize(&space, &start, &mut eval);
+        // The space has 2^3 = 8 points; all of them end up evaluated.
+        assert_eq!(outcome.points_evaluated, 8);
+        assert_eq!(outcome.stop_condition, StopCondition::SpaceExhausted);
+    }
+
+    #[test]
+    fn all_new_center_heuristics_work() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..5).map(Var::new));
+        let start = space.full_point();
+        for heuristic in [
+            NewCenterHeuristic::ConflictActivity,
+            NewCenterHeuristic::BestValue,
+            NewCenterHeuristic::Random,
+        ] {
+            let mut eval = evaluator(&cnf, 4);
+            let tabu = TabuSearch::new(TabuConfig {
+                new_center: heuristic,
+                limits: SearchLimits::unlimited().with_max_points(20),
+                seed: 9,
+                ..TabuConfig::default()
+            });
+            let outcome = tabu.minimize(&space, &start, &mut eval);
+            assert!(outcome.points_evaluated >= 1);
+            assert!(outcome.best_value.is_finite());
+        }
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..6).map(Var::new));
+        let start = space.full_point();
+        let run = || {
+            let mut eval = evaluator(&cnf, 8);
+            let tabu = TabuSearch::new(TabuConfig {
+                limits: SearchLimits::unlimited().with_max_points(25),
+                seed: 77,
+                ..TabuConfig::default()
+            });
+            let out = tabu.minimize(&space, &start, &mut eval);
+            (out.best_point.clone(), out.best_value, out.points_evaluated)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_is_rejected() {
+        let cnf = pigeonhole();
+        let space = SearchSpace::new((0..4).map(Var::new));
+        let mut eval = evaluator(&cnf, 2);
+        let tabu = TabuSearch::new(TabuConfig {
+            radius: 0,
+            ..TabuConfig::default()
+        });
+        let _ = tabu.minimize(&space, &space.full_point(), &mut eval);
+    }
+}

@@ -1,0 +1,134 @@
+//! Clause storage for the CDCL solver.
+
+use pdsat_cnf::Lit;
+
+/// Handle to a clause stored in the [`ClauseDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    /// Index into the clause database.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stored clause together with the metadata CDCL needs.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredClause {
+    pub lits: Vec<Lit>,
+    /// Clause activity for the learnt-clause deletion policy.
+    pub activity: f64,
+    /// Literal block distance (glue) computed when the clause was learnt.
+    pub lbd: u32,
+    pub learnt: bool,
+    pub deleted: bool,
+}
+
+/// Arena of clauses (original and learnt).
+///
+/// Deleted clauses are only marked; their slots are reused lazily when the
+/// database is compacted. This keeps [`ClauseRef`]s stable, which greatly
+/// simplifies the solver.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<StoredClause>,
+    num_deleted: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    pub fn add(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.clauses.push(StoredClause {
+            lits,
+            activity: 0.0,
+            lbd,
+            learnt,
+            deleted: false,
+        });
+        cref
+    }
+
+    pub fn get(&self, cref: ClauseRef) -> &StoredClause {
+        &self.clauses[cref.index()]
+    }
+
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
+        &mut self.clauses[cref.index()]
+    }
+
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        &self.clauses[cref.index()].lits
+    }
+
+    pub fn mark_deleted(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        if !c.deleted {
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            self.num_deleted += 1;
+        }
+    }
+
+    pub fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.clauses[cref.index()].deleted
+    }
+
+    /// Total number of slots (including deleted clauses).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of clauses that have been marked deleted.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn num_deleted(&self) -> usize {
+        self.num_deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::{Lit, Var};
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn add_get_and_delete() {
+        let mut db = ClauseDb::new();
+        let c0 = db.add(vec![lit(1), lit(-2)], false, 0);
+        let c1 = db.add(vec![lit(2), lit(3)], true, 2);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.lits(c0), &[lit(1), lit(-2)]);
+        assert!(db.get(c1).learnt);
+        assert_eq!(db.get(c1).lbd, 2);
+        assert!(!db.is_deleted(c0));
+        db.mark_deleted(c0);
+        assert!(db.is_deleted(c0));
+        assert_eq!(db.num_deleted(), 1);
+        // Double delete is a no-op.
+        db.mark_deleted(c0);
+        assert_eq!(db.num_deleted(), 1);
+        // The other clause is untouched.
+        assert_eq!(db.lits(c1), &[lit(2), lit(3)]);
+        assert_eq!(c1.index(), 1);
+        let _ = Var::new(0);
+    }
+
+    #[test]
+    fn activity_is_mutable() {
+        let mut db = ClauseDb::new();
+        let c = db.add(vec![lit(1)], true, 1);
+        db.get_mut(c).activity += 2.5;
+        assert!((db.get(c).activity - 2.5).abs() < f64::EPSILON);
+    }
+}

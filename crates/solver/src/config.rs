@@ -1,0 +1,97 @@
+//! Solver configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the CDCL solver.
+///
+/// The defaults follow MiniSat 2.2. The Monte Carlo estimator of the paper
+/// requires the algorithm `A` to be *deterministic*, so the solver performs no
+/// randomized decisions; every knob here is a deterministic policy parameter.
+///
+/// # Example
+///
+/// ```
+/// use pdsat_solver::SolverConfig;
+/// let cfg = SolverConfig {
+///     luby_restart_base: 50,
+///     ..SolverConfig::default()
+/// };
+/// assert!(cfg.phase_saving);
+/// assert_eq!(cfg.luby_restart_base, 50);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Multiplicative decay applied to variable activities after each
+    /// conflict (`1/decay` is the bump growth factor).
+    pub var_decay: f64,
+    /// Multiplicative decay applied to learnt-clause activities.
+    pub clause_decay: f64,
+    /// Base number of conflicts between restarts; the actual limit of the
+    /// `i`-th restart is `luby(i) · luby_restart_base`.
+    pub luby_restart_base: u64,
+    /// Whether restarts are enabled at all.
+    pub restarts: bool,
+    /// Whether to remember and reuse the last polarity of each variable.
+    pub phase_saving: bool,
+    /// Default polarity used for a variable that has never been assigned.
+    pub default_polarity: bool,
+    /// Whether learnt clauses are minimized with the basic (local) rule.
+    pub clause_minimization: bool,
+    /// Fraction of the original clause count used as the initial learnt
+    /// clause limit.
+    pub learntsize_factor: f64,
+    /// Growth factor applied to the learnt clause limit after each database
+    /// reduction.
+    pub learntsize_inc: f64,
+    /// Lower bound on the learnt clause limit (useful for tiny formulas).
+    pub min_learnt_limit: usize,
+    /// LBD (glue) value at or below which learnt clauses are never deleted.
+    pub protected_lbd: u32,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            luby_restart_base: 100,
+            restarts: true,
+            phase_saving: true,
+            default_polarity: false,
+            clause_minimization: true,
+            learntsize_factor: 1.0 / 3.0,
+            learntsize_inc: 1.1,
+            min_learnt_limit: 1000,
+            protected_lbd: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_minisat_conventions() {
+        let cfg = SolverConfig::default();
+        assert!((cfg.var_decay - 0.95).abs() < 1e-12);
+        assert!((cfg.clause_decay - 0.999).abs() < 1e-12);
+        assert_eq!(cfg.luby_restart_base, 100);
+        assert!(cfg.restarts);
+        assert!(cfg.phase_saving);
+        assert!(cfg.clause_minimization);
+        assert!(!cfg.default_polarity);
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        let cfg = SolverConfig::default();
+        let copy = cfg.clone();
+        assert_eq!(cfg, copy);
+        let changed = SolverConfig {
+            restarts: false,
+            ..cfg
+        };
+        assert_ne!(changed, copy);
+    }
+}

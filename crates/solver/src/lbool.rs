@@ -1,0 +1,100 @@
+//! Three-valued Booleans used internally by the solver.
+
+use pdsat_cnf::Value;
+
+/// Lifted Boolean: true, false or undefined.
+///
+/// This mirrors MiniSat's `lbool`. Conversion to the public
+/// [`Value`](pdsat_cnf::Value) type happens at the crate boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    Undef,
+}
+
+impl LBool {
+    /// Builds from a concrete Boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Negation; `Undef` is a fixed point.
+    #[must_use]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Flips the value when `negate` is true (used to evaluate literals).
+    #[must_use]
+    pub fn xor(self, negate: bool) -> LBool {
+        if negate {
+            self.negate()
+        } else {
+            self
+        }
+    }
+
+    /// `true` when the value is defined (assigned).
+    #[must_use]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+
+    /// `Some(bool)` when defined.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+impl From<LBool> for Value {
+    fn from(b: LBool) -> Value {
+        match b {
+            LBool::True => Value::True,
+            LBool::False => Value::False,
+            LBool::Undef => Value::Unassigned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negate_and_xor() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::False.xor(false), LBool::False);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false).to_bool(), Some(false));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        assert!(LBool::True.is_assigned());
+        assert!(!LBool::Undef.is_assigned());
+        assert_eq!(Value::from(LBool::True), Value::True);
+        assert_eq!(Value::from(LBool::Undef), Value::Unassigned);
+    }
+}

@@ -1,0 +1,60 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (0-based) of the Luby sequence
+/// `1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …`.
+///
+/// The restart limit used by the solver is `base · luby(i)` conflicts for the
+/// `i`-th restart, exactly as in MiniSat.
+#[must_use]
+pub fn luby(i: u64) -> u64 {
+    // MiniSat's closed-form walk: find the finite subsequence that contains
+    // index `i` and the position of `i` inside it.
+    let mut x = i;
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_elements_match_reference() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn subsequence_ends_are_powers_of_two() {
+        // The element at 0-based position 2^k - 2 is 2^(k-1).
+        for k in 1..12u32 {
+            assert_eq!(luby((1u64 << k) - 2), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two_and_bounded() {
+        for i in 0..2000u64 {
+            let v = luby(i);
+            assert!(v.is_power_of_two(), "luby({i}) = {v}");
+            assert!(v <= i + 1);
+        }
+    }
+
+    #[test]
+    fn ones_are_frequent() {
+        let ones = (0..1000u64).filter(|&i| luby(i) == 1).count();
+        assert!(ones >= 500, "half of the Luby sequence is 1, got {ones}");
+    }
+}

@@ -1,0 +1,1081 @@
+//! The CDCL solver proper.
+
+use crate::clause_db::{ClauseDb, ClauseRef};
+use crate::heap::VarOrderHeap;
+use crate::lbool::LBool;
+use crate::luby::luby;
+use crate::{Budget, InterruptFlag, SolverConfig, SolverStats, StopReason};
+use pdsat_cnf::{Assignment, Cnf, Lit, Var};
+use std::time::Instant;
+
+/// Result of a solve call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The instance is satisfiable; a model is attached.
+    Sat(Assignment),
+    /// The instance is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+    /// The call stopped before reaching an answer.
+    Unknown(StopReason),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+
+    /// `true` for [`Verdict::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Verdict::Unsat)
+    }
+
+    /// `true` for [`Verdict::Unknown`].
+    #[must_use]
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+
+    /// The model, if the verdict is [`Verdict::Sat`].
+    #[must_use]
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            Verdict::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    reason: Option<ClauseRef>,
+    level: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchStatus {
+    Sat,
+    Unsat,
+    Restart,
+    Stopped(StopReason),
+}
+
+struct Limits {
+    conflict_limit: Option<u64>,
+    propagation_limit: Option<u64>,
+    decision_limit: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+/// A MiniSat-class CDCL SAT solver.
+///
+/// Features: two-watched-literal propagation, first-UIP conflict analysis
+/// with basic clause minimization, VSIDS decision heuristic, phase saving,
+/// Luby restarts, activity/LBD-based learnt clause deletion, incremental
+/// solving under assumptions, resource budgets and cooperative interruption.
+///
+/// The solver is deterministic: given the same clauses, assumptions and
+/// configuration it explores the same search tree, which is a requirement of
+/// the Monte Carlo estimator of Semenov & Zaikin (the observed values must be
+/// samples of a single well-defined random variable).
+///
+/// # Example
+///
+/// ```
+/// use pdsat_cnf::{Cnf, Lit, Var};
+/// use pdsat_solver::{Solver, Verdict};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause([Lit::positive(Var::new(0)), Lit::positive(Var::new(1))]);
+/// cnf.add_clause([Lit::negative(Var::new(0))]);
+/// let mut solver = Solver::from_cnf(&cnf);
+/// match solver.solve() {
+///     Verdict::Sat(model) => assert!(cnf.is_satisfied_by(&model)),
+///     other => panic!("expected SAT, got {other:?}"),
+/// }
+/// ```
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    original: Vec<ClauseRef>,
+    learnts: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    vardata: Vec<VarData>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    conflict_counts: Vec<u64>,
+    order_heap: VarOrderHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    var_inc: f64,
+    cla_inc: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: SolverStats,
+    max_learnts: f64,
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_clauses", &self.original.len())
+            .field("num_learnts", &self.learnts.len())
+            .field("ok", &self.ok)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with the default configuration.
+    #[must_use]
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with a custom configuration.
+    #[must_use]
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            original: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            conflict_counts: Vec::new(),
+            order_heap: VarOrderHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            seen: Vec::new(),
+            stats: SolverStats::default(),
+            max_learnts: 0.0,
+        }
+    }
+
+    /// Creates a solver preloaded with the clauses of `cnf`.
+    #[must_use]
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        Solver::from_cnf_with_config(cnf, SolverConfig::default())
+    }
+
+    /// Creates a solver preloaded with the clauses of `cnf` and a custom
+    /// configuration.
+    #[must_use]
+    pub fn from_cnf_with_config(cnf: &Cnf, config: SolverConfig) -> Solver {
+        let mut solver = Solver::with_config(config);
+        solver.ensure_vars(cnf.num_vars());
+        for clause in cnf.iter() {
+            solver.add_clause(clause.iter());
+        }
+        solver
+    }
+
+    /// Number of variables known to the solver.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses currently attached.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.original.len()
+    }
+
+    /// Number of learnt clauses currently in the database.
+    #[must_use]
+    pub fn num_learnts(&self) -> usize {
+        self.learnts.len()
+    }
+
+    /// Cumulative statistics over all solve calls.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// `false` once the clause database has been proven unsatisfiable at the
+    /// root level; further solve calls return [`Verdict::Unsat`] immediately.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// VSIDS activity of a variable. Higher means the variable participated
+    /// in more recent conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unknown to the solver.
+    #[must_use]
+    pub fn var_activity(&self, var: Var) -> f64 {
+        self.activity[var.index()]
+    }
+
+    /// Number of conflicts in whose analysis the variable participated.
+    ///
+    /// This is the "conflict activity" used by the tabu search heuristic of
+    /// the paper to pick a new neighbourhood centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unknown to the solver.
+    #[must_use]
+    pub fn conflict_count(&self, var: Var) -> u64 {
+        self.conflict_counts[var.index()]
+    }
+
+    /// Per-variable conflict participation counts (indexed by variable).
+    #[must_use]
+    pub fn conflict_counts(&self) -> &[u64] {
+        &self.conflict_counts
+    }
+
+    /// Creates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.vardata.push(VarData {
+            reason: None,
+            level: 0,
+        });
+        self.polarity.push(self.config.default_polarity);
+        self.activity.push(0.0);
+        self.conflict_counts.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order_heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures the solver knows at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the clause (together with the
+    /// clauses added so far) makes the formula unsatisfiable at the root
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level 0 (which
+    /// cannot happen through the public API: every solve call backtracks to
+    /// level 0 before returning).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var().index()).max() {
+            self.ensure_vars(max + 1);
+        }
+        // Normalize: sort, dedup, drop tautologies and false/true literals.
+        lits.sort_unstable();
+        lits.dedup();
+        let mut tautology = false;
+        lits.retain(|&l| self.lit_value(l) != LBool::False);
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                tautology = true;
+            }
+        }
+        if tautology || lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.add(lits, false, 0);
+                self.original.push(cref);
+                self.attach_clause(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the current formula without assumptions and without limits.
+    pub fn solve(&mut self) -> Verdict {
+        self.solve_limited(&[], &Budget::unlimited(), None)
+    }
+
+    /// Solves under the given assumption literals (they are treated as if
+    /// they were unit clauses, but are retracted afterwards, enabling
+    /// incremental use — this is exactly how PDSAT hands the cubes of a
+    /// decomposition family to the same solver instance).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> Verdict {
+        self.solve_limited(assumptions, &Budget::unlimited(), None)
+    }
+
+    /// Solves under assumptions with resource limits and an optional
+    /// interruption flag.
+    pub fn solve_limited(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        interrupt: Option<&InterruptFlag>,
+    ) -> Verdict {
+        let start = Instant::now();
+        let verdict = self.solve_inner(assumptions, budget, interrupt, start);
+        self.stats.solve_time += start.elapsed();
+        verdict
+    }
+
+    fn solve_inner(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+        interrupt: Option<&InterruptFlag>,
+        start: Instant,
+    ) -> Verdict {
+        if !self.ok {
+            return Verdict::Unsat;
+        }
+        for &a in assumptions {
+            if a.var().index() >= self.num_vars() {
+                self.ensure_vars(a.var().index() + 1);
+            }
+        }
+        let limits = Limits {
+            conflict_limit: budget.max_conflicts.map(|c| self.stats.conflicts + c),
+            propagation_limit: budget.max_propagations.map(|p| self.stats.propagations + p),
+            decision_limit: budget.max_decisions.map(|d| self.stats.decisions + d),
+            deadline: budget.max_wall_time.map(|d| start + d),
+        };
+        self.max_learnts = (self.original.len() as f64 * self.config.learntsize_factor)
+            .max(self.config.min_learnt_limit as f64);
+
+        let mut curr_restarts: u64 = 0;
+        loop {
+            let restart_limit = if self.config.restarts {
+                luby(curr_restarts).saturating_mul(self.config.luby_restart_base)
+            } else {
+                u64::MAX
+            };
+            let status = self.search(restart_limit, assumptions, &limits, interrupt);
+            match status {
+                SearchStatus::Sat => {
+                    let model = self.extract_model();
+                    self.cancel_until(0);
+                    return Verdict::Sat(model);
+                }
+                SearchStatus::Unsat => {
+                    self.cancel_until(0);
+                    return Verdict::Unsat;
+                }
+                SearchStatus::Restart => {
+                    self.stats.restarts += 1;
+                    curr_restarts += 1;
+                    self.cancel_until(0);
+                }
+                SearchStatus::Stopped(reason) => {
+                    self.cancel_until(0);
+                    return Verdict::Unknown(reason);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- search
+
+    fn search(
+        &mut self,
+        nof_conflicts: u64,
+        assumptions: &[Lit],
+        limits: &Limits,
+        interrupt: Option<&InterruptFlag>,
+    ) -> SearchStatus {
+        let mut conflicts_this_round: u64 = 0;
+        loop {
+            if let Some(reason) = self.check_limits(limits, interrupt) {
+                return SearchStatus::Stopped(reason);
+            }
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                conflicts_this_round += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchStatus::Unsat;
+                }
+                let (learnt, backtrack_level, lbd) = self.analyze(confl);
+                self.cancel_until(backtrack_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.db.add(learnt, true, lbd);
+                    self.learnts.push(cref);
+                    self.stats.learnt_clauses += 1;
+                    self.attach_clause(cref);
+                    self.bump_clause_activity(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.decay_var_activity();
+                self.decay_clause_activity();
+            } else {
+                // No conflict.
+                if conflicts_this_round >= nof_conflicts {
+                    return SearchStatus::Restart;
+                }
+                if self.learnts.len() as f64 >= self.max_learnts + self.trail.len() as f64 {
+                    self.reduce_db();
+                }
+                // Establish assumptions, then decide.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => return SearchStatus::Unsat,
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let next = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch_lit() {
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            l
+                        }
+                        None => return SearchStatus::Sat,
+                    },
+                };
+                self.new_decision_level();
+                self.unchecked_enqueue(next, None);
+            }
+        }
+    }
+
+    fn check_limits(&self, limits: &Limits, interrupt: Option<&InterruptFlag>) -> Option<StopReason> {
+        if let Some(flag) = interrupt {
+            if flag.is_raised() {
+                return Some(StopReason::Interrupted);
+            }
+        }
+        if let Some(limit) = limits.conflict_limit {
+            if self.stats.conflicts >= limit {
+                return Some(StopReason::ConflictLimit);
+            }
+        }
+        if let Some(limit) = limits.propagation_limit {
+            if self.stats.propagations >= limit {
+                return Some(StopReason::PropagationLimit);
+            }
+        }
+        if let Some(limit) = limits.decision_limit {
+            if self.stats.decisions >= limit {
+                return Some(StopReason::DecisionLimit);
+            }
+        }
+        if let Some(deadline) = limits.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::TimeLimit);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------ propagation
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].xor(lit.is_negative())
+    }
+
+    fn var_value(&self, var: Var) -> LBool {
+        self.assigns[var.index()]
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
+        self.vardata[lit.var().index()] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict: Option<ClauseRef> = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
+            let mut idx = 0;
+            'watchers: while idx < watchers.len() {
+                let w = watchers[idx];
+                idx += 1;
+                // Fast path: the blocker literal is already true.
+                if self.lit_value(w.blocker) == LBool::True {
+                    kept.push(w);
+                    continue;
+                }
+                if self.db.is_deleted(w.cref) {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                // Make sure the false literal is at position 1.
+                {
+                    let lits = &mut self.db.get_mut(w.cref).lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(w.cref)[0];
+                let new_watcher = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    kept.push(new_watcher);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.lits(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.lits(w.cref)[k];
+                    if self.lit_value(lk) != LBool::False {
+                        let lits = &mut self.db.get_mut(w.cref).lits;
+                        lits.swap(1, k);
+                        let watch_lit = !lits[1];
+                        self.watches[watch_lit.code()].push(new_watcher);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: the clause is unit or conflicting.
+                kept.push(new_watcher);
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: keep the remaining watchers and stop.
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    kept.extend_from_slice(&watchers[idx..]);
+                    break 'watchers;
+                }
+                self.unchecked_enqueue(first, Some(w.cref));
+            }
+            self.watches[p.code()] = kept;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    // ------------------------------------------------------ conflict analysis
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backtrack level and the clause LBD.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // slot 0 reserved
+        let mut path_c: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+
+        loop {
+            if self.db.get(confl).learnt {
+                self.bump_clause_activity(confl);
+            }
+            let start = usize::from(p.is_some());
+            let clause_len = self.db.lits(confl).len();
+            for j in start..clause_len {
+                let q = self.db.lits(confl)[j];
+                let v = q.var();
+                if !self.seen[v.index()] && self.vardata[v.index()].level > 0 {
+                    self.bump_var_activity(v);
+                    self.conflict_counts[v.index()] += 1;
+                    self.seen[v.index()] = true;
+                    if self.vardata[v.index()].level >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal (on the current decision level) to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit_p = self.trail[index];
+            p = Some(lit_p);
+            self.seen[lit_p.var().index()] = false;
+            path_c -= 1;
+            if path_c == 0 {
+                break;
+            }
+            confl = self.vardata[lit_p.var().index()]
+                .reason
+                .expect("non-decision literal on the conflict side has a reason");
+        }
+        learnt[0] = !p.expect("analysis visited at least one literal");
+
+        // Basic (local) clause minimization: a literal is redundant if its
+        // reason clause only contains literals that are already in the learnt
+        // clause (or are at level 0).
+        let to_clear: Vec<Var> = learnt.iter().map(|l| l.var()).collect();
+        let before = learnt.len();
+        if self.config.clause_minimization && learnt.len() > 1 {
+            let mut j = 1;
+            for i in 1..learnt.len() {
+                let lit = learnt[i];
+                let v = lit.var();
+                let keep = match self.vardata[v.index()].reason {
+                    None => true,
+                    Some(reason) => {
+                        let lits = self.db.lits(reason);
+                        lits.iter().skip(1).any(|&q| {
+                            !self.seen[q.var().index()] && self.vardata[q.var().index()].level > 0
+                        })
+                    }
+                };
+                if keep {
+                    learnt[j] = lit;
+                    j += 1;
+                }
+            }
+            learnt.truncate(j);
+        }
+        self.stats.learnt_literals += learnt.len() as u64;
+        self.stats.minimized_literals += (before - learnt.len()) as u64;
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Compute the backtrack level and move the highest-level literal to slot 1.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.vardata[learnt[i].var().index()].level
+                    > self.vardata[learnt[max_i].var().index()].level
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.vardata[learnt[1].var().index()].level
+        };
+
+        // Literal block distance: number of distinct decision levels.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.vardata[l.var().index()].level)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (learnt, backtrack_level, lbd)
+    }
+
+    // ------------------------------------------------------------ backtracking
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for c in (bound..self.trail.len()).rev() {
+            let lit = self.trail[c];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            if self.config.phase_saving {
+                self.polarity[v.index()] = lit.is_positive();
+            }
+            self.vardata[v.index()].reason = None;
+            self.order_heap.insert(v, &self.activity);
+        }
+        self.qhead = bound;
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order_heap.pop_max(&self.activity)?;
+            if self.var_value(v) == LBool::Undef {
+                let polarity = if self.config.phase_saving {
+                    self.polarity[v.index()]
+                } else {
+                    self.config.default_polarity
+                };
+                return Some(Lit::new(v, polarity));
+            }
+        }
+    }
+
+    fn extract_model(&self) -> Assignment {
+        let mut model = Assignment::new(self.num_vars());
+        for (i, &value) in self.assigns.iter().enumerate() {
+            model.assign(Var::new(i as u32), value.to_bool().unwrap_or(false));
+        }
+        model
+    }
+
+    // ---------------------------------------------------------------- activity
+
+    fn bump_var_activity(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.order_heap.rebuild(&self.activity);
+        }
+        self.order_heap.increased(v, &self.activity);
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn bump_clause_activity(&mut self, cref: ClauseRef) {
+        let act = {
+            let c = self.db.get_mut(cref);
+            c.activity += self.cla_inc;
+            c.activity
+        };
+        if act > 1e20 {
+            for &learnt in &self.learnts {
+                self.db.get_mut(learnt).activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    // ----------------------------------------------------------- clause moves
+
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        debug_assert!(lits.len() >= 2);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.lits(cref)[0];
+        self.lit_value(first) == LBool::True
+            && self.vardata[first.var().index()].reason == Some(cref)
+    }
+
+    /// Removes roughly half of the learnt clauses, preferring clauses with
+    /// low activity and high LBD. Clauses that are reasons for current
+    /// assignments or have LBD ≤ `protected_lbd` are kept.
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !self.db.is_deleted(c)
+                    && !self.is_locked(c)
+                    && self.db.get(c).lbd > self.config.protected_lbd
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_remove = candidates.len() / 2;
+        for &cref in candidates.iter().take(to_remove) {
+            self.detach_clause(cref);
+            self.db.mark_deleted(cref);
+            self.stats.removed_clauses += 1;
+        }
+        self.learnts.retain(|&c| !self.db.is_deleted(c));
+        self.max_learnts *= self.config.learntsize_inc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::dimacs;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        assert!(s.add_clause([lit(1)]));
+        assert!(s.add_clause([lit(-2)]));
+        match s.solve() {
+            Verdict::Sat(m) => {
+                assert_eq!(m.value(Var::new(0)).to_bool(), Some(true));
+                assert_eq!(m.value(Var::new(1)).to_bool(), Some(false));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+
+        let mut u = Solver::new();
+        u.add_clause([lit(1)]);
+        assert!(!u.add_clause([lit(-1)]));
+        assert_eq!(u.solve(), Verdict::Unsat);
+        assert!(!u.is_ok());
+    }
+
+    #[test]
+    fn empty_clause_makes_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p_{i,j} with i∈{0,1,2}, j∈{0,1}.
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 2 + j) as u32));
+        let mut s = Solver::new();
+        for i in 0..3 {
+            s.add_clause([var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Verdict::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let text = "p cnf 6 8\n1 2 0\n-1 3 0\n-3 -2 0\n4 5 6 0\n-4 -5 0\n-5 -6 0\n-4 -6 0\n2 -6 0\n";
+        let cnf = dimacs::parse_str(text).unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        match s.solve() {
+            Verdict::Sat(m) => assert!(cnf.is_satisfied_by(&m)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_are_retractable() {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ x2): assuming ¬x2 forces UNSAT, without it SAT.
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-2)]), Verdict::Unsat);
+        assert!(s.is_ok(), "assumption UNSAT must not poison the solver");
+        assert!(s.solve_with_assumptions(&[lit(2)]).is_sat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_fix_values_in_model() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        match s.solve_with_assumptions(&[lit(-1), lit(-2)]) {
+            Verdict::Sat(m) => {
+                assert_eq!(m.value(Var::new(0)).to_bool(), Some(false));
+                assert_eq!(m.value(Var::new(1)).to_bool(), Some(false));
+                assert_eq!(m.value(Var::new(2)).to_bool(), Some(true));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_assumptions_are_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(1), lit(-1)]),
+            Verdict::Unsat
+        );
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn conflict_budget_stops_search() {
+        // A hard-ish pigeonhole instance with a tiny conflict budget.
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 4 + j) as u32));
+        let mut s = Solver::new();
+        for i in 0..5 {
+            s.add_clause((0..4).map(|j| var(i, j)));
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        let budget = Budget::unlimited().with_conflict_limit(3);
+        match s.solve_limited(&[], &budget, None) {
+            Verdict::Unknown(StopReason::ConflictLimit) => {}
+            other => panic!("expected conflict-limit stop, got {other:?}"),
+        }
+        // Without the budget the instance is UNSAT.
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn interrupt_flag_stops_search() {
+        let flag = InterruptFlag::new();
+        flag.raise();
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        match s.solve_limited(&[], &Budget::unlimited(), Some(&flag)) {
+            Verdict::Unknown(StopReason::Interrupted) => {}
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        flag.reset();
+        assert!(s.solve_limited(&[], &Budget::unlimited(), Some(&flag)).is_sat());
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let text = "p cnf 8 12\n1 2 3 0\n-1 -2 0\n-2 -3 0\n-1 -3 0\n4 5 6 0\n-4 -5 0\n-5 -6 0\n-4 -6 0\n7 8 0\n-7 -8 0\n1 7 0\n4 8 0\n";
+        let cnf = dimacs::parse_str(text).unwrap();
+        let run = || {
+            let mut s = Solver::from_cnf(&cnf);
+            let v = s.solve();
+            (v.is_sat(), *s.stats())
+        };
+        let (sat1, stats1) = run();
+        let (sat2, stats2) = run();
+        assert_eq!(sat1, sat2);
+        assert_eq!(stats1.conflicts, stats2.conflicts);
+        assert_eq!(stats1.decisions, stats2.decisions);
+        assert_eq!(stats1.propagations, stats2.propagations);
+    }
+
+    #[test]
+    fn conflict_counts_accumulate() {
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 2 + j) as u32));
+        let mut s = Solver::new();
+        for i in 0..3 {
+            s.add_clause([var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        s.solve();
+        let total: u64 = s.conflict_counts().iter().sum();
+        assert!(total > 0, "conflict analysis must have bumped variables");
+        assert!(s.var_activity(Var::new(0)) >= 0.0);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(-1)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_harmless() {
+        let mut s = Solver::new();
+        assert!(s.add_clause([lit(1), lit(1), lit(-2)]));
+        assert!(s.add_clause([lit(2), lit(-2)]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let sat = Verdict::Sat(Assignment::new(0));
+        assert!(sat.is_sat() && !sat.is_unsat() && !sat.is_unknown());
+        assert!(sat.model().is_some());
+        assert!(Verdict::Unsat.is_unsat());
+        assert!(Verdict::Unknown(StopReason::TimeLimit).is_unknown());
+        assert!(Verdict::Unknown(StopReason::TimeLimit).model().is_none());
+    }
+}

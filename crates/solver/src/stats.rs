@@ -1,0 +1,100 @@
+//! Solver statistics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters accumulated by the solver.
+///
+/// These serve two purposes in the reproduction:
+///
+/// 1. They provide *deterministic* cost measures (`conflicts`, `decisions`,
+///    `propagations`) that the Monte Carlo estimator can use instead of wall
+///    clock when reproducible experiments are desired.
+/// 2. `solve_time` is the wall-clock measurement `ζ_j` of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses removed by database reductions.
+    pub removed_clauses: u64,
+    /// Number of learnt literals after minimization.
+    pub learnt_literals: u64,
+    /// Number of literals removed by clause minimization.
+    pub minimized_literals: u64,
+    /// Total wall-clock time spent inside `solve` calls.
+    #[serde(with = "duration_secs")]
+    pub solve_time: Duration,
+}
+
+impl SolverStats {
+    /// Adds the counters of `other` into `self` (used to aggregate the
+    /// statistics of many sub-problem solves).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.removed_clauses += other.removed_clauses;
+        self.learnt_literals += other.learnt_literals;
+        self.minimized_literals += other.minimized_literals;
+        self.solve_time += other.solve_time;
+    }
+}
+
+mod duration_secs {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = SolverStats {
+            conflicts: 1,
+            decisions: 2,
+            propagations: 3,
+            solve_time: Duration::from_millis(10),
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            conflicts: 10,
+            decisions: 20,
+            propagations: 30,
+            solve_time: Duration::from_millis(5),
+            ..SolverStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.conflicts, 11);
+        assert_eq!(a.decisions, 22);
+        assert_eq!(a.propagations, 33);
+        assert_eq!(a.solve_time, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = SolverStats::default();
+        assert_eq!(s.conflicts, 0);
+        assert_eq!(s.solve_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests comparing the CDCL solver against brute-force enumeration
+//! on random formulas, and exercising assumption-based solving the way the
+//! partitioning machinery does.
+
+use pdsat_cnf::{Cnf, Cube, Lit, Var};
+use pdsat_solver::{Budget, Solver, SolverConfig, Verdict};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random k-SAT formula with `n` variables and `m` clauses.
+fn random_cnf(seed: u64, n: usize, m: usize, k: usize) -> Cnf {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(n);
+    for _ in 0..m {
+        let len = rng.gen_range(1..=k);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::new(rng.gen_range(0..n) as u32), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver verdict agrees with exhaustive enumeration.
+    #[test]
+    fn verdict_matches_brute_force(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let n = rng.gen_range(3..12usize);
+        let m = rng.gen_range(2..40usize);
+        let cnf = random_cnf(seed, n, m, 3);
+        let brute = cnf.brute_force_model();
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            Verdict::Sat(model) => {
+                prop_assert!(brute.is_some(), "solver SAT but formula has no model");
+                prop_assert!(cnf.is_satisfied_by(&model), "returned model must satisfy the formula");
+            }
+            Verdict::Unsat => prop_assert!(brute.is_none(), "solver UNSAT but formula has a model"),
+            Verdict::Unknown(r) => prop_assert!(false, "unlimited solve returned Unknown: {r}"),
+        }
+    }
+
+    /// Solving `C` under the assumptions of a cube is equivalent to solving
+    /// the substituted formula `C[X̃/α]` — the identity the decomposition
+    /// family construction relies on.
+    #[test]
+    fn assumptions_equal_substitution(seed in 0u64..5_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
+        let n = rng.gen_range(4..10usize);
+        let m = rng.gen_range(3..30usize);
+        let cnf = random_cnf(seed.wrapping_mul(31), n, m, 3);
+        let d = rng.gen_range(1..=3usize.min(n));
+        let set: Vec<Var> = (0..d as u32).map(Var::new).collect();
+        let index = rng.gen_range(0..(1u64 << d));
+        let cube = Cube::from_bits(&set, index);
+
+        let mut incremental = Solver::from_cnf(&cnf);
+        let with_assumptions = incremental.solve_with_assumptions(&cube.to_assumptions());
+
+        let substituted = cnf.assign_cube(&cube);
+        let mut fresh = Solver::from_cnf(&substituted);
+        let on_substituted = fresh.solve();
+
+        prop_assert_eq!(with_assumptions.is_sat(), on_substituted.is_sat());
+        if let Verdict::Sat(model) = with_assumptions {
+            // The model extends the cube.
+            for &lit in cube.lits() {
+                prop_assert_eq!(model.lit_value(lit).to_bool(), Some(true));
+            }
+            prop_assert!(cnf.is_satisfied_by(&model));
+        }
+    }
+
+    /// Incremental solving over all cubes of a decomposition set covers the
+    /// whole search space: the instance is SAT iff some sub-problem is SAT.
+    #[test]
+    fn decomposition_family_preserves_satisfiability(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x77);
+        let n = rng.gen_range(4..9usize);
+        let m = rng.gen_range(4..26usize);
+        let cnf = random_cnf(seed.wrapping_add(17), n, m, 3);
+        let d = rng.gen_range(1..=3usize);
+        let set: Vec<Var> = (0..d as u32).map(Var::new).collect();
+
+        let mut solver = Solver::from_cnf(&cnf);
+        let mut any_sat = false;
+        for idx in 0..(1u64 << d) {
+            let cube = Cube::from_bits(&set, idx);
+            if solver.solve_with_assumptions(&cube.to_assumptions()).is_sat() {
+                any_sat = true;
+            }
+        }
+        prop_assert_eq!(any_sat, cnf.brute_force_model().is_some());
+    }
+
+    /// Restarts and clause-DB reduction do not change verdicts.
+    #[test]
+    fn aggressive_config_agrees_with_default(seed in 0u64..2_000) {
+        let cnf = random_cnf(seed.wrapping_mul(7), 10, 38, 3);
+        let default_verdict = Solver::from_cnf(&cnf).solve().is_sat();
+        let aggressive = SolverConfig {
+            luby_restart_base: 1,
+            min_learnt_limit: 1,
+            learntsize_factor: 0.0,
+            clause_minimization: false,
+            phase_saving: false,
+            ..SolverConfig::default()
+        };
+        let aggressive_verdict =
+            Solver::from_cnf_with_config(&cnf, aggressive).solve().is_sat();
+        prop_assert_eq!(default_verdict, aggressive_verdict);
+    }
+}
+
+#[test]
+fn budgeted_solve_is_resumable() {
+    // A larger pigeonhole instance: repeatedly solve with a small conflict
+    // budget until the verdict is reached; the final verdict must be UNSAT.
+    let holes = 4;
+    let pigeons = 5;
+    let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+    let mut solver = Solver::new();
+    for i in 0..pigeons {
+        solver.add_clause((0..holes).map(|j| var(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                solver.add_clause([!var(i1, j), !var(i2, j)]);
+            }
+        }
+    }
+    let budget = Budget::unlimited().with_conflict_limit(20);
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        match solver.solve_limited(&[], &budget, None) {
+            Verdict::Unknown(_) => continue,
+            Verdict::Unsat => break,
+            Verdict::Sat(_) => panic!("pigeonhole must be UNSAT"),
+        }
+    }
+    assert!(rounds >= 1);
+}
+
+#[test]
+fn wall_clock_budget_triggers() {
+    // An unsatisfiable pigeonhole instance large enough not to finish within
+    // a zero-length time budget.
+    let holes = 7;
+    let pigeons = 8;
+    let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+    let mut solver = Solver::new();
+    for i in 0..pigeons {
+        solver.add_clause((0..holes).map(|j| var(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                solver.add_clause([!var(i1, j), !var(i2, j)]);
+            }
+        }
+    }
+    let budget = Budget::unlimited().with_time_limit(std::time::Duration::ZERO);
+    assert!(matches!(
+        solver.solve_limited(&[], &budget, None),
+        Verdict::Unknown(_)
+    ));
+}

@@ -1,0 +1,57 @@
+//! # pdsat — Monte Carlo search for SAT partitionings
+//!
+//! A from-scratch Rust reproduction of Semenov & Zaikin, *"Using Monte Carlo
+//! Method for Searching Partitionings of Hard Variants of Boolean
+//! Satisfiability Problem"* (PaCT 2015, arXiv:1507.00862), including every
+//! substrate the paper depends on:
+//!
+//! * [`cnf`] — CNF formulas, DIMACS I/O, cubes and assignments;
+//! * [`solver`] — a MiniSat-class CDCL solver (the complete deterministic
+//!   algorithm `A`);
+//! * [`circuit`] — a Boolean circuit IR and Tseitin encoder (the Transalg
+//!   substitute);
+//! * [`ciphers`] — the A5/1, Bivium and Grain keystream generators and their
+//!   cryptanalysis (inversion) instances;
+//! * [`core`] — the paper's contribution: decomposition sets, the Monte
+//!   Carlo predictive function, simulated annealing and tabu search over the
+//!   space of decomposition sets, the leader/worker solving mode and cluster
+//!   extrapolation;
+//! * [`distrib`] — cluster and volunteer-computing (SAT@home) simulators.
+//!
+//! The facade simply re-exports the workspace crates under shorter names so
+//! that examples and downstream users can depend on a single crate.
+//!
+//! # Example: estimate and then actually measure a partitioning
+//!
+//! ```
+//! use pdsat::ciphers::{Bivium, InstanceBuilder};
+//! use pdsat::core::{CostMetric, DecompositionSet, Evaluator, EvaluatorConfig};
+//! use rand::SeedableRng;
+//!
+//! // A heavily weakened Bivium inversion instance (6 unknown state bits).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let instance = InstanceBuilder::new(Bivium::new())
+//!     .keystream_len(40)
+//!     .known_suffix_of_second_register(171)
+//!     .build_random(&mut rng);
+//!
+//! // Estimate the family cost from a sample, then enumerate the family.
+//! let set = DecompositionSet::new(instance.unknown_state_vars());
+//! let mut evaluator = Evaluator::new(
+//!     instance.cnf(),
+//!     EvaluatorConfig { sample_size: 16, cost: CostMetric::Propagations, ..Default::default() },
+//! );
+//! let estimate = evaluator.evaluate(&set).value();
+//! let exact = evaluator.evaluate_exhaustively(&set).value();
+//! assert!(estimate > 0.0 && exact > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pdsat_circuit as circuit;
+pub use pdsat_ciphers as ciphers;
+pub use pdsat_cnf as cnf;
+pub use pdsat_core as core;
+pub use pdsat_distrib as distrib;
+pub use pdsat_solver as solver;

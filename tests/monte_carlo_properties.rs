@@ -1,0 +1,164 @@
+//! Statistical and structural properties of the Monte Carlo partitioning
+//! machinery, checked across crates with property-based tests.
+
+use pdsat::cnf::{Cnf, Cube, Lit, Var};
+use pdsat::core::{
+    CostMetric, DecompositionSet, Evaluator, EvaluatorConfig, ParallelSystem, SampleStats,
+};
+use pdsat::solver::{Solver, Verdict};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn random_cnf(seed: u64, n: usize, m: usize) -> Cnf {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(n);
+    for _ in 0..m {
+        let len = rng.gen_range(1..4usize);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::new(rng.gen_range(0..n) as u32), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A decomposition family is a partitioning: distinct cubes conflict, the
+    /// family covers the space, and the original instance is satisfiable iff
+    /// some member of the family is.
+    #[test]
+    fn decomposition_family_is_a_partitioning(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..9usize);
+        let cnf = random_cnf(seed, n, rng.gen_range(3..20usize));
+        let d = rng.gen_range(1..=3usize);
+        let set = DecompositionSet::new((0..d as u32).map(Var::new));
+        let cubes: Vec<Cube> = set.cubes().collect();
+        prop_assert_eq!(cubes.len() as u128, set.cube_count().unwrap());
+        for (i, a) in cubes.iter().enumerate() {
+            for (j, b) in cubes.iter().enumerate() {
+                prop_assert_eq!(a.conflicts_with(b), i != j);
+            }
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        let family_sat = cubes
+            .iter()
+            .any(|c| solver.solve_with_assumptions(&c.to_assumptions()).is_sat());
+        let direct_sat = matches!(Solver::from_cnf(&cnf).solve(), Verdict::Sat(_));
+        prop_assert_eq!(family_sat, direct_sat);
+    }
+
+    /// The predictive function evaluated on the whole family (sample = the
+    /// family itself) equals the sum of the per-cube costs — eq. (2) of the
+    /// paper with the expectation replaced by the true mean.
+    #[test]
+    fn exhaustive_predictive_value_is_exact(seed in 0u64..1_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFACE);
+        let n = rng.gen_range(5..9usize);
+        let cnf = random_cnf(seed.wrapping_mul(13), n, rng.gen_range(5..25usize));
+        let d = rng.gen_range(1..=4usize);
+        let set = DecompositionSet::new((0..d as u32).map(Var::new));
+        let mut evaluator = Evaluator::new(
+            &cnf,
+            EvaluatorConfig {
+                cost: CostMetric::Propagations,
+                ..EvaluatorConfig::default()
+            },
+        );
+        let eval = evaluator.evaluate_exhaustively(&set);
+        let sum: f64 = eval.observations.iter().sum();
+        prop_assert!((eval.value() - sum).abs() < 1e-6);
+        prop_assert_eq!(eval.observations.len() as u128, set.cube_count().unwrap());
+    }
+
+    /// Sample statistics behave like statistics: the mean lies between the
+    /// extremes, the variance is non-negative, and the CLT half-width shrinks
+    /// as 1/√N.
+    #[test]
+    fn sample_statistics_are_well_behaved(values in prop::collection::vec(0.0f64..1e6, 2..50)) {
+        let stats = SampleStats::from_observations(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(stats.mean >= min - 1e-9 && stats.mean <= max + 1e-9);
+        prop_assert!(stats.variance >= 0.0);
+        let half = stats.confidence_half_width(0.95);
+        prop_assert!(half >= 0.0);
+        // Quadrupling N halves the half-width (same mean/variance).
+        let bigger = SampleStats { n: stats.n * 4, ..stats };
+        prop_assert!(bigger.confidence_half_width(0.95) <= half / 2.0 + 1e-9);
+    }
+
+    /// Extrapolation sanity: more cores never increase the ideal time, and
+    /// the LPT makespan is never better than the trivial lower bound.
+    #[test]
+    fn extrapolation_is_monotone(costs in prop::collection::vec(0.01f64..100.0, 1..60),
+                                 cores in 1usize..64) {
+        let system = ParallelSystem::cluster(cores);
+        let bigger = ParallelSystem::cluster(cores * 2);
+        let total: f64 = costs.iter().sum();
+        prop_assert!(bigger.ideal_time(total) <= system.ideal_time(total) + 1e-9);
+        let lpt = system.makespan_lpt(&costs);
+        let bound = system.makespan_lower_bound(&costs);
+        prop_assert!(lpt + 1e-9 >= bound);
+    }
+}
+
+#[test]
+fn larger_samples_estimate_better_on_average() {
+    // Convergence in the mean: averaged over several seeds, the estimate with
+    // N = 64 is at least as close to the truth as the estimate with N = 4.
+    let cnf = {
+        // Pigeonhole 5→4: every cube of a 5-variable set has non-trivial cost.
+        let (pigeons, holes) = (5, 4);
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    };
+    let set = DecompositionSet::new((0..6).map(Var::new));
+    let exact = {
+        let mut evaluator = Evaluator::new(
+            &cnf,
+            EvaluatorConfig {
+                cost: CostMetric::Conflicts,
+                ..EvaluatorConfig::default()
+            },
+        );
+        evaluator.evaluate_exhaustively(&set).value()
+    };
+    assert!(exact > 0.0);
+
+    let mean_abs_error = |n: usize| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..6u64 {
+            let mut evaluator = Evaluator::new(
+                &cnf,
+                EvaluatorConfig {
+                    sample_size: n,
+                    cost: CostMetric::Conflicts,
+                    seed,
+                    ..EvaluatorConfig::default()
+                },
+            );
+            total += (evaluator.evaluate(&set).value() - exact).abs();
+        }
+        total / 6.0
+    };
+    let small = mean_abs_error(4);
+    let large = mean_abs_error(64);
+    assert!(
+        large <= small * 1.05,
+        "error with N=64 ({large:.1}) should not exceed error with N=4 ({small:.1})"
+    );
+}
