@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdsat_distrib::{
-    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
-    GridConfig,
+    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig, GridConfig,
 };
 use rand::{Rng, SeedableRng};
 use std::time::Duration;

@@ -2,7 +2,7 @@
 //! three keystream generators (the Transalg-substitute path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pdsat_ciphers::{A51, Bivium, Grain, StreamCipher};
+use pdsat_ciphers::{Bivium, Grain, StreamCipher, A51};
 use pdsat_circuit::tseitin;
 use std::time::Duration;
 

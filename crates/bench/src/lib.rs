@@ -10,7 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pdsat_ciphers::{A51, Bivium, Grain, Instance, InstanceBuilder};
+use pdsat_ciphers::{Bivium, Grain, Instance, InstanceBuilder, A51};
 use pdsat_cnf::{Cnf, Lit, Var};
 use pdsat_core::DecompositionSet;
 use rand::rngs::StdRng;

@@ -135,8 +135,7 @@ impl StreamCipher for A51 {
                 // The register moves iff its clocking tap equals the majority.
                 let agree_xor = c.xor(clock_bits[r], majority);
                 let moves = c.not(agree_xor);
-                let feedback_taps: Vec<Signal> =
-                    FEEDBACK_TAPS[r].iter().map(|&t| reg[t]).collect();
+                let feedback_taps: Vec<Signal> = FEEDBACK_TAPS[r].iter().map(|&t| reg[t]).collect();
                 let feedback = c.xor_many(&feedback_taps);
                 let mut next = Vec::with_capacity(reg.len());
                 next.push(c.mux(moves, feedback, reg[0]));
@@ -183,7 +182,7 @@ mod tests {
     fn all_zero_state_produces_zero_keystream() {
         // With an all-zero fill every tap is zero forever.
         let cipher = A51::new();
-        let ks = cipher.keystream(&vec![false; STATE_LEN], 32);
+        let ks = cipher.keystream(&[false; STATE_LEN], 32);
         assert!(ks.iter().all(|&b| !b));
     }
 

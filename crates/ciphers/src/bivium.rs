@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn zero_state_produces_zero_keystream() {
         let cipher = Bivium::new();
-        let ks = cipher.keystream(&vec![false; STATE_LEN], 64);
+        let ks = cipher.keystream(&[false; STATE_LEN], 64);
         assert!(ks.iter().all(|&z| !z));
     }
 

@@ -42,5 +42,10 @@ pub(crate) fn assert_circuit_matches<C: StreamCipher>(cipher: &C, state: &[bool]
     let circuit = cipher.circuit(len);
     assert_eq!(circuit.num_inputs(), cipher.state_len());
     let got = circuit.evaluate(state);
-    assert_eq!(got, expected, "{} circuit deviates from reference", cipher.name());
+    assert_eq!(
+        got,
+        expected,
+        "{} circuit deviates from reference",
+        cipher.name()
+    );
 }

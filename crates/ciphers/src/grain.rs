@@ -210,7 +210,7 @@ mod tests {
     fn zero_state_produces_zero_keystream() {
         // All AND monomials and XOR taps vanish on the zero state.
         let cipher = Grain::new();
-        let ks = cipher.keystream(&vec![false; STATE_LEN], 80);
+        let ks = cipher.keystream(&[false; STATE_LEN], 80);
         assert!(ks.iter().all(|&z| !z));
     }
 
@@ -231,7 +231,7 @@ mod tests {
         let cipher = Grain::new();
         let mut base = vec![false; STATE_LEN];
         base[REGISTER_LEN + 25] = true; // s25 feeds h directly as x1
-        let ks_zero = cipher.keystream(&vec![false; STATE_LEN], 1);
+        let ks_zero = cipher.keystream(&[false; STATE_LEN], 1);
         let ks_flip = cipher.keystream(&base, 1);
         assert!(!ks_zero[0]);
         assert!(ks_flip[0]);

@@ -184,9 +184,8 @@ impl<C: StreamCipher> InstanceBuilder<C> {
         let mut encoding = tseitin::encode(&circuit);
         encoding.fix_outputs(&keystream);
 
-        let known_state_bits: Vec<(usize, bool)> = (n - self.known_suffix..n)
-            .map(|i| (i, state[i]))
-            .collect();
+        let known_state_bits: Vec<(usize, bool)> =
+            (n - self.known_suffix..n).map(|i| (i, state[i])).collect();
         for &(i, value) in &known_state_bits {
             encoding.fix_input(i, value);
         }
@@ -247,7 +246,7 @@ impl<C: StreamCipher> InstanceBuilder<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{A51, Bivium, Grain};
+    use crate::{Bivium, Grain, A51};
     use rand::SeedableRng;
 
     #[test]

@@ -2,7 +2,7 @@
 //! invert it with the CDCL solver, exactly like one sub-problem of a PDSAT
 //! decomposition family.
 
-use pdsat_ciphers::{A51, Bivium, Grain, Instance, InstanceBuilder, StreamCipher};
+use pdsat_ciphers::{Bivium, Grain, Instance, InstanceBuilder, StreamCipher, A51};
 use pdsat_solver::{Solver, Verdict};
 use rand::SeedableRng;
 

@@ -95,9 +95,7 @@ impl Encoding {
 pub fn encode(circuit: &Circuit) -> Encoding {
     let mut cnf = Cnf::new(0);
     // Inputs occupy variables 0..num_inputs in input order.
-    let inputs: Vec<Var> = (0..circuit.num_inputs())
-        .map(|_| cnf.new_var())
-        .collect();
+    let inputs: Vec<Var> = (0..circuit.num_inputs()).map(|_| cnf.new_var()).collect();
 
     // Assign a literal to every node.
     let mut node_lits: Vec<Lit> = Vec::with_capacity(circuit.num_nodes());
@@ -255,7 +253,10 @@ mod tests {
             for (i, &b) in values.iter().enumerate() {
                 fixed.fix_input(i, b);
             }
-            let model = fixed.cnf.brute_force_model().expect("inputs fixed: must be SAT");
+            let model = fixed
+                .cnf
+                .brute_force_model()
+                .expect("inputs fixed: must be SAT");
             for (o, &exp) in expected.iter().enumerate() {
                 match fixed.outputs[o] {
                     EncodedOutput::Lit(lit) => {
@@ -294,7 +295,10 @@ mod tests {
         let always_true = c.or(a, na);
         c.add_output(always_true);
         let mut enc = encode(&c);
-        assert!(matches!(enc.outputs[0], EncodedOutput::Const(true) | EncodedOutput::Lit(_)));
+        assert!(matches!(
+            enc.outputs[0],
+            EncodedOutput::Const(true) | EncodedOutput::Lit(_)
+        ));
         enc.fix_output(0, false);
         assert!(enc.cnf.brute_force_model().is_none());
     }
@@ -307,7 +311,10 @@ mod tests {
         c.add_output(n);
         let enc = encode(&c);
         assert_eq!(enc.cnf.num_vars(), 1);
-        assert_eq!(enc.outputs[0], EncodedOutput::Lit(!enc.inputs[0].positive()));
+        assert_eq!(
+            enc.outputs[0],
+            EncodedOutput::Lit(!enc.inputs[0].positive())
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ fn random_circuit(seed: u64, n: usize, g: usize) -> Circuit {
     pool.push(c.constant(true));
     pool.push(c.constant(false));
     for _ in 0..g {
-        let pick = |rng: &mut rand::rngs::StdRng, pool: &[Signal]| pool[rng.gen_range(0..pool.len())];
+        let pick =
+            |rng: &mut rand::rngs::StdRng, pool: &[Signal]| pool[rng.gen_range(0..pool.len())];
         let s = match rng.gen_range(0..6) {
             0 => {
                 let a = pick(&mut rng, &pool);

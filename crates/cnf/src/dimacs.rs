@@ -243,7 +243,10 @@ mod tests {
     fn rejects_variable_beyond_header() {
         assert!(matches!(
             parse_str("p cnf 2 1\n5 0\n"),
-            Err(ParseDimacsError::VariableOutOfRange { var: 5, declared: 2 })
+            Err(ParseDimacsError::VariableOutOfRange {
+                var: 5,
+                declared: 2
+            })
         ));
     }
 

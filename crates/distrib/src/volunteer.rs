@@ -14,8 +14,8 @@
 //! * work units that bundle many sub-problems to amortize scheduling
 //!   overhead — exactly how SAT@home packaged the cubes of a partitioning.
 
-use rand::{Rng, SeedableRng};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -148,7 +148,10 @@ pub fn simulate_volunteer_grid(
     config: &GridConfig,
 ) -> GridReport {
     assert!(!hosts.is_empty(), "the grid needs at least one host");
-    assert!(config.work_unit_size > 0, "work units bundle at least one cube");
+    assert!(
+        config.work_unit_size > 0,
+        "work units bundle at least one cube"
+    );
     assert!(config.redundancy > 0, "the quorum must be positive");
 
     // Bundle cubes into work units.
@@ -183,12 +186,12 @@ pub fn simulate_volunteer_grid(
     // Next work unit to hand out: round-robin over units that still need
     // results, preferring lower indices (enumeration order, like SAT@home).
     let dispatch = |idle: &mut Vec<usize>,
-                        needs: &mut Vec<usize>,
-                        events: &mut BinaryHeap<Event>,
-                        rng: &mut StdRng,
-                        clock: f64,
-                        donated: &mut f64,
-                        assignments: &mut usize| {
+                    needs: &mut Vec<usize>,
+                    events: &mut BinaryHeap<Event>,
+                    rng: &mut StdRng,
+                    clock: f64,
+                    donated: &mut f64,
+                    assignments: &mut usize| {
         while let Some(&host_id) = idle.last() {
             let Some(wu) = needs.iter().position(|&n| n > 0) else {
                 break;
@@ -345,7 +348,10 @@ mod tests {
         };
         let report = simulate_volunteer_grid(&costs, &hosts, &config);
         assert_eq!(report.work_units, 20);
-        assert!(report.lost_results > 0, "with reliability 0.5 losses are expected");
+        assert!(
+            report.lost_results > 0,
+            "with reliability 0.5 losses are expected"
+        );
         assert!(report.assignments > report.work_units);
         assert!(report.makespan > 0.0);
     }
@@ -398,8 +404,7 @@ mod tests {
 
     #[test]
     fn empty_family_is_trivial() {
-        let report =
-            simulate_volunteer_grid(&[], &[perfect_host()], &GridConfig::default());
+        let report = simulate_volunteer_grid(&[], &[perfect_host()], &GridConfig::default());
         assert_eq!(report.work_units, 0);
         assert_eq!(report.makespan, 0.0);
     }

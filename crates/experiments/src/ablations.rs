@@ -167,9 +167,7 @@ pub fn run_ablations(workload: &ScaledWorkload) -> AblationResult {
     // even for sub-problems decided by unit propagation alone, so the relative
     // error is well defined on every instance size.
     let base_set = space.decomposition_set(&start);
-    let small_set = pdsat_core::DecompositionSet::new(
-        base_set.vars().iter().copied().take(10),
-    );
+    let small_set = pdsat_core::DecompositionSet::new(base_set.vars().iter().copied().take(10));
     let ablation_b_config = EvaluatorConfig {
         cost: pdsat_core::CostMetric::Propagations,
         ..workload.evaluator(&instance).config().clone()

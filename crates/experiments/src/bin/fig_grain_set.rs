@@ -1,9 +1,9 @@
 //! Regenerates Figure 4 of the paper: the Grain decomposition set found by
 //! PDSAT drawn over the NFSR and LFSR.
 
+use pdsat_core::{SearchLimits, TabuConfig, TabuSearch};
 use pdsat_experiments::figures::render_instance_decomposition;
 use pdsat_experiments::{CipherKind, ScaledWorkload};
-use pdsat_core::{SearchLimits, TabuConfig, TabuSearch};
 
 fn main() {
     let workload = ScaledWorkload::grain();

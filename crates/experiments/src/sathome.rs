@@ -81,7 +81,11 @@ impl SatHomeResult {
 /// Runs the scaled SAT@home experiment.
 #[must_use]
 pub fn run_sathome(workload: &ScaledWorkload, hosts: usize) -> SatHomeResult {
-    assert_eq!(workload.cipher, CipherKind::A51, "§4.2 is an A5/1 experiment");
+    assert_eq!(
+        workload.cipher,
+        CipherKind::A51,
+        "§4.2 is an A5/1 experiment"
+    );
     let instance = workload.build_instance();
     let space = workload.search_space(&instance);
 

@@ -8,7 +8,7 @@
 //! smaller) so each experiment finishes on a laptop. EXPERIMENTS.md records
 //! which qualitative conclusions survive the scaling.
 
-use pdsat_ciphers::{A51, Bivium, Grain, Instance, InstanceBuilder, StreamCipher};
+use pdsat_ciphers::{Bivium, Grain, Instance, InstanceBuilder, StreamCipher, A51};
 use pdsat_cnf::Var;
 use pdsat_core::{CostMetric, DecompositionSet, Evaluator, EvaluatorConfig, SearchSpace};
 use pdsat_solver::SolverConfig;
@@ -305,7 +305,10 @@ mod tests {
             ScaledWorkload::grain(),
         ] {
             assert!(workload.unknown_bits() > 0);
-            assert!(workload.unknown_bits() <= 24, "scaled workloads stay laptop-sized");
+            assert!(
+                workload.unknown_bits() <= 24,
+                "scaled workloads stay laptop-sized"
+            );
             assert!(workload.keystream_len > 0);
         }
         assert_eq!(CipherKind::A51.state_len(), 64);

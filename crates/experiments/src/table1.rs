@@ -66,7 +66,11 @@ impl Table1Result {
 /// Runs the scaled Table 1 / Figures 1–2 experiment.
 #[must_use]
 pub fn run_table1(workload: &ScaledWorkload) -> Table1Result {
-    assert_eq!(workload.cipher, CipherKind::A51, "Table 1 is an A5/1 experiment");
+    assert_eq!(
+        workload.cipher,
+        CipherKind::A51,
+        "Table 1 is an A5/1 experiment"
+    );
     let instance = workload.build_instance();
     let space = workload.search_space(&instance);
     let mut evaluator = workload.evaluator(&instance);
@@ -114,7 +118,12 @@ pub fn run_table1(workload: &ScaledWorkload) -> Table1Result {
 
     let layout = CipherKind::A51.register_layout();
     let figures = vec![
-        render_instance_decomposition("Figure 1: decomposition set S1 (manual)", &layout, &instance, &s1),
+        render_instance_decomposition(
+            "Figure 1: decomposition set S1 (manual)",
+            &layout,
+            &instance,
+            &s1,
+        ),
         render_instance_decomposition(
             "Figure 2a: decomposition set S2 (simulated annealing)",
             &layout,

@@ -13,7 +13,9 @@
 
 use crate::scaled::{bivium_fixed_strategy_set, CipherKind, ScaledWorkload};
 use crate::text_table::{sci, TextTable};
-use pdsat_core::{DecompositionSet, Evaluator, EvaluatorConfig, SearchLimits, TabuConfig, TabuSearch};
+use pdsat_core::{
+    DecompositionSet, Evaluator, EvaluatorConfig, SearchLimits, TabuConfig, TabuSearch,
+};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table 2.

@@ -147,7 +147,10 @@ pub fn run_table3(
     instances_per_problem: usize,
     cluster: &ClusterConfig,
 ) -> Table3Result {
-    assert!(instances_per_problem > 0, "at least one instance per problem");
+    assert!(
+        instances_per_problem > 0,
+        "at least one instance per problem"
+    );
     let cores = cluster.cores();
     let mut rows = Vec::new();
 
@@ -187,11 +190,9 @@ pub fn run_table3(
                 .first_sat_index
                 .map(|idx| vec![idx])
                 .unwrap_or_default();
-            let cluster_report =
-                simulate_cluster(&report.per_cube_costs, &sat_indices, cluster);
+            let cluster_report = simulate_cluster(&report.per_cube_costs, &sat_indices, cluster);
             if f_one_core > 0.0 {
-                deviations
-                    .push(100.0 * (report.total_cost - f_one_core).abs() / f_one_core);
+                deviations.push(100.0 * (report.total_cost - f_one_core).abs() / f_one_core);
             }
             instances.push(InstanceMeasurement {
                 label: format!("inst. {}", i + 1),
@@ -233,7 +234,10 @@ mod tests {
 
     #[test]
     fn table3_protocol_produces_consistent_rows() {
-        let problems = vec![tiny_problem(CipherKind::Bivium), tiny_problem(CipherKind::Grain)];
+        let problems = vec![
+            tiny_problem(CipherKind::Bivium),
+            tiny_problem(CipherKind::Grain),
+        ];
         let cluster = ClusterConfig {
             nodes: 1,
             cores_per_node: 8,

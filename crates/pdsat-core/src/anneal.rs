@@ -109,8 +109,8 @@ impl SimulatedAnnealing {
         let mut evaluated: HashMap<Point, f64> = HashMap::new();
 
         let evaluate = |point: &Point,
-                            evaluator: &mut Evaluator,
-                            evaluated: &mut HashMap<Point, f64>|
+                        evaluator: &mut Evaluator,
+                        evaluated: &mut HashMap<Point, f64>|
          -> f64 {
             if let Some(&v) = evaluated.get(point) {
                 return v;
@@ -142,11 +142,7 @@ impl SimulatedAnnealing {
             let mut radius = 1usize;
 
             'inner: loop {
-                if self
-                    .config
-                    .limits
-                    .exceeded(history.len(), begin.elapsed())
-                {
+                if self.config.limits.exceeded(history.len(), begin.elapsed()) {
                     stop = if self
                         .config
                         .limits
@@ -226,9 +222,7 @@ impl SimulatedAnnealing {
                     break 'inner;
                 }
 
-                let all_checked = neighborhood
-                    .iter()
-                    .all(|p| evaluated.contains_key(p));
+                let all_checked = neighborhood.iter().all(|p| evaluated.contains_key(p));
                 if all_checked {
                     if radius >= space.dimension() {
                         stop = StopCondition::SpaceExhausted;
@@ -306,7 +300,10 @@ mod tests {
         let outcome = sa.minimize(&space, &start, &mut eval);
         assert!(outcome.points_evaluated <= 40);
         assert!(outcome.best_value <= outcome.history[0].value);
-        assert_eq!(outcome.best_set, space.decomposition_set(&outcome.best_point));
+        assert_eq!(
+            outcome.best_set,
+            space.decomposition_set(&outcome.best_point)
+        );
         assert!(!outcome.history.is_empty());
         // The trace never increases.
         let trace = outcome.best_value_trace();

@@ -195,10 +195,7 @@ mod tests {
     fn construction_normalizes() {
         let set = vars(&[5, 1, 5, 3]);
         assert_eq!(set.len(), 3);
-        assert_eq!(
-            set.vars(),
-            &[Var::new(1), Var::new(3), Var::new(5)]
-        );
+        assert_eq!(set.vars(), &[Var::new(1), Var::new(3), Var::new(5)]);
         assert!(set.contains(Var::new(3)));
         assert!(!set.contains(Var::new(2)));
         assert_eq!(set.to_string(), "{x2, x4, x6}");
@@ -237,7 +234,8 @@ mod tests {
             assert_eq!(cube_vars, set.vars());
         }
         // With 100 draws over 16 cubes, at least two distinct cubes appear.
-        let distinct: std::collections::HashSet<_> = sample.iter().map(|c| c.lits().to_vec()).collect();
+        let distinct: std::collections::HashSet<_> =
+            sample.iter().map(|c| c.lits().to_vec()).collect();
         assert!(distinct.len() > 1);
     }
 

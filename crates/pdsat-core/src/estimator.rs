@@ -60,7 +60,10 @@ impl SampleStats {
     /// Panics if `gamma` is not strictly between 0 and 1.
     #[must_use]
     pub fn confidence_half_width(&self, gamma: f64) -> f64 {
-        assert!(gamma > 0.0 && gamma < 1.0, "confidence level must lie in (0,1)");
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "confidence level must lie in (0,1)"
+        );
         // In eq. (3) γ = Φ(δ_γ) with Φ the standard normal CDF, i.e. the
         // deviation threshold is the γ-quantile of the normal distribution.
         let delta = normal_quantile(gamma);
@@ -141,7 +144,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -209,7 +212,7 @@ fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {

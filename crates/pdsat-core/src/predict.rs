@@ -356,7 +356,9 @@ mod tests {
         let _ = evaluator.evaluate(&set);
         assert_eq!(evaluator.evaluations(), 2);
         assert_eq!(evaluator.cubes_solved(), 16);
-        assert!(evaluator.activity_of_set(&set) <= evaluator.conflict_activity().iter().sum::<u64>());
+        assert!(
+            evaluator.activity_of_set(&set) <= evaluator.conflict_activity().iter().sum::<u64>()
+        );
         assert!(evaluator.conflict_activity().iter().any(|&c| c > 0));
     }
 
@@ -392,7 +394,10 @@ mod tests {
         let f_large = evaluator.evaluate(&large).value();
         // Not exact (harder cubes get cheaper), but the scale factor must be
         // visible: F(large) should exceed F(small).
-        assert!(f_large > f_small * 0.5, "f_large={f_large} f_small={f_small}");
+        assert!(
+            f_large > f_small * 0.5,
+            "f_large={f_large} f_small={f_small}"
+        );
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //!
 //! PDSAT is an MPI program with one leader process and many computing
 //! processes, each running a modified MiniSat that can be interrupted by a
-//! non-blocking message. Our equivalent is a batch runner over a crossbeam
-//! work queue: worker threads pull cubes, solve `C` under the cube's
-//! assumptions with a fresh solver, and report the measured cost; a shared
-//! [`InterruptFlag`] plays the role of the stop messages.
+//! non-blocking message. Our equivalent is a batch runner over a shared
+//! atomic work queue: scoped worker threads claim cube indices, solve `C`
+//! under the cube's assumptions, and report the measured cost over an mpsc
+//! channel; a shared [`InterruptFlag`] plays the role of the stop messages.
 
 use crate::CostMetric;
-use crossbeam::channel;
 use pdsat_cnf::{Assignment, Cnf, Cube};
 use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, Verdict};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Summary verdict of one sub-problem (the model, if any, travels separately).
@@ -184,10 +185,7 @@ impl<'a> WorkerState<'a> {
         delta.propagations -= before.propagations;
         let cost = self.config.cost.measure(&delta, elapsed);
         let (summary, model) = match verdict {
-            Verdict::Sat(m) => (
-                VerdictSummary::Sat,
-                self.config.collect_models.then_some(m),
-            ),
+            Verdict::Sat(m) => (VerdictSummary::Sat, self.config.collect_models.then_some(m)),
             Verdict::Unsat => (VerdictSummary::Unsat, None),
             Verdict::Unknown(_) => (VerdictSummary::Unknown, None),
         };
@@ -218,8 +216,9 @@ impl<'a> WorkerState<'a> {
 /// Processes a batch of cubes (sub-problems of one decomposition family).
 ///
 /// With `num_workers <= 1` the batch runs sequentially on the calling thread;
-/// otherwise a crossbeam scope spawns worker threads that pull cubes from a
-/// shared queue. Either way the outcomes are returned in cube order.
+/// otherwise a [`std::thread::scope`] spawns worker threads that claim cubes
+/// from a shared atomic queue. Either way the outcomes are returned in cube
+/// order.
 ///
 /// The optional `external_interrupt` lets a caller abandon the whole batch —
 /// the equivalent of PDSAT's leader abandoning a search-space point.
@@ -250,26 +249,26 @@ pub fn solve_cube_batch(
             outcomes.push(outcome);
         }
     } else {
-        let (job_tx, job_rx) = channel::unbounded::<(usize, Cube)>();
-        let (result_tx, result_rx) = channel::unbounded::<(CubeOutcome, Vec<u64>)>();
-        for (index, cube) in cubes.iter().enumerate() {
-            job_tx.send((index, cube.clone())).expect("queue is open");
-        }
-        drop(job_tx);
+        let next_job = AtomicUsize::new(0);
+        let (result_tx, result_rx) = mpsc::channel::<(CubeOutcome, Vec<u64>)>();
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..config.num_workers {
-                let job_rx = job_rx.clone();
+                let next_job = &next_job;
                 let result_tx = result_tx.clone();
                 let interrupt = interrupt.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut state = WorkerState::new(cnf, config);
-                    while let Ok((index, cube)) = job_rx.recv() {
+                    loop {
+                        let index = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some(cube) = cubes.get(index) else {
+                            break;
+                        };
                         if config.stop_on_sat && interrupt.is_raised() {
                             // Abandon the remaining cubes quickly.
                             continue;
                         }
-                        let (outcome, counts) = state.solve_one(&cube, index, &interrupt);
+                        let (outcome, counts) = state.solve_one(cube, index, &interrupt);
                         if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
                             interrupt.raise();
                         }
@@ -284,8 +283,7 @@ pub fn solve_cube_batch(
                 accumulate(&mut totals, &counts);
                 outcomes.push(outcome);
             }
-        })
-        .expect("worker threads do not panic");
+        });
     }
 
     outcomes.sort_by_key(|o| o.index);
@@ -465,7 +463,11 @@ mod tests {
         let fresh = solve_cube_batch(&cnf, &cubes, &fresh_config, None);
         let reused = solve_cube_batch(&cnf, &cubes, &reuse_config, None);
         for (a, b) in fresh.outcomes.iter().zip(&reused.outcomes) {
-            assert_eq!(a.verdict, b.verdict, "verdicts must agree for cube {}", a.index);
+            assert_eq!(
+                a.verdict, b.verdict,
+                "verdicts must agree for cube {}",
+                a.index
+            );
         }
         // Learnt clauses carried across cubes make the reused run cheaper in
         // total (or at worst equal).

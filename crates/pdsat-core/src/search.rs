@@ -59,6 +59,7 @@ impl SearchLimits {
     }
 }
 
+#[allow(dead_code)]
 mod opt_duration_secs {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::time::Duration;
@@ -107,6 +108,9 @@ pub struct SearchStep {
     pub elapsed: Duration,
 }
 
+// Only referenced through `#[serde(with = ...)]`, which the offline serde
+// stub's derive ignores; kept for when a real serializer is wired in.
+#[allow(dead_code)]
 mod duration_secs {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::time::Duration;

@@ -86,7 +86,10 @@ impl SearchSpace {
     ///
     /// Panics if `ones > dimension()`.
     pub fn random_point_with_ones<R: Rng + ?Sized>(&self, ones: usize, rng: &mut R) -> Point {
-        assert!(ones <= self.dimension(), "cannot select more variables than the universe holds");
+        assert!(
+            ones <= self.dimension(),
+            "cannot select more variables than the universe holds"
+        );
         let mut indices: Vec<usize> = (0..self.dimension()).collect();
         // Partial Fisher–Yates shuffle.
         for i in 0..ones {
@@ -107,7 +110,11 @@ impl SearchSpace {
     /// Panics if the point has a different dimension than the space.
     #[must_use]
     pub fn decomposition_set(&self, point: &Point) -> DecompositionSet {
-        assert_eq!(point.dimension(), self.dimension(), "point/space dimension mismatch");
+        assert_eq!(
+            point.dimension(),
+            self.dimension(),
+            "point/space dimension mismatch"
+        );
         DecompositionSet::new(
             point
                 .bits
@@ -273,7 +280,7 @@ mod tests {
         assert_eq!(n2.len(), 21);
         assert!(n2.iter().all(|p| {
             let d = p.hamming_distance(&c);
-            d >= 1 && d <= 2
+            (1..=2).contains(&d)
         }));
         // No duplicates.
         let unique: std::collections::HashSet<_> = n2.iter().cloned().collect();

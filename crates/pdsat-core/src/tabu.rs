@@ -88,7 +88,10 @@ impl TabuSearch {
             space.dimension(),
             "start point must live in the search space"
         );
-        assert!(self.config.radius >= 1, "the neighbourhood radius must be positive");
+        assert!(
+            self.config.radius >= 1,
+            "the neighbourhood radius must be positive"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         let begin = Instant::now();
 
@@ -101,10 +104,13 @@ impl TabuSearch {
         let mut l2: Vec<Point> = Vec::new();
 
         let evaluate = |point: &Point,
-                            evaluator: &mut Evaluator,
-                            evaluated: &mut HashMap<Point, f64>|
+                        evaluator: &mut Evaluator,
+                        evaluated: &mut HashMap<Point, f64>|
          -> f64 {
-            debug_assert!(!evaluated.contains_key(point), "tabu lists forbid re-evaluation");
+            debug_assert!(
+                !evaluated.contains_key(point),
+                "tabu lists forbid re-evaluation"
+            );
             let set = space.decomposition_set(point);
             let value = evaluator.evaluate(&set).value();
             evaluated.insert(point.clone(), value);
@@ -331,7 +337,10 @@ mod tests {
         let outcome = tabu.minimize(&space, &start, &mut eval);
         assert!(outcome.best_value <= outcome.history[0].value);
         assert!(outcome.points_evaluated <= 50);
-        assert_eq!(outcome.best_set, space.decomposition_set(&outcome.best_point));
+        assert_eq!(
+            outcome.best_set,
+            space.decomposition_set(&outcome.best_point)
+        );
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct SolverConfig {
     pub min_learnt_limit: usize,
     /// LBD (glue) value at or below which learnt clauses are never deleted.
     pub protected_lbd: u32,
+    /// Fraction of the clause arena that may be occupied by deleted clauses
+    /// before a compacting garbage collection runs (MiniSat uses 0.20).
+    pub garbage_frac: f64,
 }
 
 impl Default for SolverConfig {
@@ -63,6 +66,7 @@ impl Default for SolverConfig {
             learntsize_inc: 1.1,
             min_learnt_limit: 1000,
             protected_lbd: 2,
+            garbage_frac: 0.20,
         }
     }
 }
@@ -81,6 +85,7 @@ mod tests {
         assert!(cfg.phase_saving);
         assert!(cfg.clause_minimization);
         assert!(!cfg.default_polarity);
+        assert!((cfg.garbage_frac - 0.20).abs() < 1e-12);
     }
 
     #[test]

@@ -146,7 +146,8 @@ mod tests {
             heap.insert(Var::new(i), &activity);
         }
         assert_eq!(heap.len(), 4);
-        let order: Vec<u32> = std::iter::from_fn(|| heap.pop_max(&activity).map(Var::raw)).collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| heap.pop_max(&activity).map(Var::raw)).collect();
         assert_eq!(order, vec![1, 3, 2, 0]);
         assert!(heap.is_empty());
     }
@@ -158,7 +159,8 @@ mod tests {
         for i in (0..5).rev() {
             heap.insert(Var::new(i), &activity);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| heap.pop_max(&activity).map(Var::raw)).collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| heap.pop_max(&activity).map(Var::raw)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 

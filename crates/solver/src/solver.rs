@@ -48,10 +48,26 @@ impl Verdict {
     }
 }
 
+/// Watch-list entry for clauses of length ≥ 3.
+///
+/// `blocker` is some literal of the clause other than the watched one; if it
+/// is already true the clause cannot be unit or conflicting, so propagation
+/// skips it without touching the clause arena at all.
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
     blocker: Lit,
+}
+
+/// Watch-list entry for binary clauses.
+///
+/// The clause is fully described by the falsified literal (the list index)
+/// and `other`, so binary propagation never dereferences the arena; `cref`
+/// is carried only to serve as the reason / conflict handle.
+#[derive(Debug, Clone, Copy)]
+struct BinWatcher {
+    cref: ClauseRef,
+    other: Lit,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +124,11 @@ pub struct Solver {
     original: Vec<ClauseRef>,
     learnts: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
+    bin_watches: Vec<Vec<BinWatcher>>,
+    /// Current assignment, indexed by *literal code* (two entries per
+    /// variable, kept in sync by `unchecked_enqueue`/`cancel_until`): the
+    /// propagation inner loop evaluates a literal with one indexed load,
+    /// with no sign-flip branch.
     assigns: Vec<LBool>,
     vardata: Vec<VarData>,
     polarity: Vec<bool>,
@@ -121,6 +142,14 @@ pub struct Solver {
     cla_inc: f64,
     ok: bool,
     seen: Vec<bool>,
+    /// Reusable buffer holding the clause produced by `analyze` (asserting
+    /// literal first); avoids a fresh allocation per conflict.
+    learnt_buf: Vec<Lit>,
+    /// Reusable scratch for decision levels during LBD computation.
+    levels_buf: Vec<u32>,
+    /// Reusable scratch listing the variables whose `seen` flag must be
+    /// cleared at the end of `analyze`.
+    toclear_buf: Vec<Var>,
     stats: SolverStats,
     max_learnts: f64,
 }
@@ -159,6 +188,7 @@ impl Solver {
             original: Vec::new(),
             learnts: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             vardata: Vec::new(),
             polarity: Vec::new(),
@@ -172,6 +202,9 @@ impl Solver {
             cla_inc: 1.0,
             ok: true,
             seen: Vec::new(),
+            learnt_buf: Vec::new(),
+            levels_buf: Vec::new(),
+            toclear_buf: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 0.0,
         }
@@ -198,7 +231,7 @@ impl Solver {
     /// Number of variables known to the solver.
     #[must_use]
     pub fn num_vars(&self) -> usize {
-        self.assigns.len()
+        self.assigns.len() / 2
     }
 
     /// Number of problem (non-learnt) clauses currently attached.
@@ -258,7 +291,8 @@ impl Solver {
 
     /// Creates a fresh variable and returns it.
     pub fn new_var(&mut self) -> Var {
-        let v = Var::new(self.assigns.len() as u32);
+        let v = Var::new(self.num_vars() as u32);
+        self.assigns.push(LBool::Undef);
         self.assigns.push(LBool::Undef);
         self.vardata.push(VarData {
             reason: None,
@@ -270,6 +304,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.order_heap.insert(v, &self.activity);
         v
     }
@@ -323,7 +359,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.add(lits, false, 0);
+                let cref = self.db.add(&lits, false, 0);
                 self.original.push(cref);
                 self.attach_clause(cref);
                 true
@@ -435,13 +471,13 @@ impl Solver {
                     self.ok = false;
                     return SearchStatus::Unsat;
                 }
-                let (learnt, backtrack_level, lbd) = self.analyze(confl);
+                let (backtrack_level, lbd) = self.analyze(confl);
                 self.cancel_until(backtrack_level);
-                if learnt.len() == 1 {
-                    self.unchecked_enqueue(learnt[0], None);
+                if self.learnt_buf.len() == 1 {
+                    self.unchecked_enqueue(self.learnt_buf[0], None);
                 } else {
-                    let asserting = learnt[0];
-                    let cref = self.db.add(learnt, true, lbd);
+                    let asserting = self.learnt_buf[0];
+                    let cref = self.db.add(&self.learnt_buf, true, lbd);
                     self.learnts.push(cref);
                     self.stats.learnt_clauses += 1;
                     self.attach_clause(cref);
@@ -487,7 +523,11 @@ impl Solver {
         }
     }
 
-    fn check_limits(&self, limits: &Limits, interrupt: Option<&InterruptFlag>) -> Option<StopReason> {
+    fn check_limits(
+        &self,
+        limits: &Limits,
+        interrupt: Option<&InterruptFlag>,
+    ) -> Option<StopReason> {
         if let Some(flag) = interrupt {
             if flag.is_raised() {
                 return Some(StopReason::Interrupted);
@@ -518,12 +558,14 @@ impl Solver {
 
     // ------------------------------------------------------------ propagation
 
+    #[inline]
     fn lit_value(&self, lit: Lit) -> LBool {
-        self.assigns[lit.var().index()].xor(lit.is_negative())
+        self.assigns[lit.code()]
     }
 
+    #[inline]
     fn var_value(&self, var: Var) -> LBool {
-        self.assigns[var.index()]
+        self.assigns[Lit::positive(var).code()]
     }
 
     fn decision_level(&self) -> u32 {
@@ -536,7 +578,8 @@ impl Solver {
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.lit_value(lit), LBool::Undef);
-        self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
+        self.assigns[lit.code()] = LBool::True;
+        self.assigns[(!lit).code()] = LBool::False;
         self.vardata[lit.var().index()] = VarData {
             reason,
             level: self.decision_level(),
@@ -545,94 +588,136 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause, if any.
+    ///
+    /// The inner loop performs no heap allocation: binary clauses are served
+    /// from dedicated per-literal lists without dereferencing the arena, and
+    /// long-clause watch lists are updated in place with swap-remove
+    /// semantics (read cursor `i`, write cursor `j`, truncate at the end).
+    /// The watch list buffer is moved out with `mem::take` (a pointer swap,
+    /// not a copy or allocation) purely to appease the borrow checker and is
+    /// always moved back before the next literal is processed.
     fn propagate(&mut self) -> Option<ClauseRef> {
-        let mut conflict: Option<ClauseRef> = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let pcode = p.code();
+
+            // Binary clauses first: the watcher itself carries the only other
+            // literal, so this loop never dereferences the arena. The list is
+            // never mutated during the scan (new watchers can only be pushed
+            // by clause learning, which never runs inside propagation).
+            let bins = std::mem::take(&mut self.bin_watches[pcode]);
+            for bi in 0..bins.len() {
+                let w = bins[bi];
+                match self.lit_value(w.other) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.qhead = self.trail.len();
+                        self.bin_watches[pcode] = bins;
+                        return Some(w.cref);
+                    }
+                    LBool::Undef => self.unchecked_enqueue(w.other, Some(w.cref)),
+                }
+            }
+            self.bin_watches[pcode] = bins;
+
             let false_lit = !p;
-            let watchers = std::mem::take(&mut self.watches[p.code()]);
-            let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
-            let mut idx = 0;
-            'watchers: while idx < watchers.len() {
-                let w = watchers[idx];
-                idx += 1;
+            let mut watchers = std::mem::take(&mut self.watches[pcode]);
+            let num_watchers = watchers.len();
+            let mut i = 0;
+            let mut j = 0;
+            let mut conflict: Option<ClauseRef> = None;
+            'watchers: while i < num_watchers {
+                let w = watchers[i];
+                i += 1;
                 // Fast path: the blocker literal is already true.
                 if self.lit_value(w.blocker) == LBool::True {
-                    kept.push(w);
+                    watchers[j] = w;
+                    j += 1;
                     continue;
                 }
-                if self.db.is_deleted(w.cref) {
-                    continue; // lazily drop watchers of deleted clauses
-                }
+                // Deleted clauses are detached eagerly (`reduce_db`) and
+                // relocated refs rewritten at GC, so every watcher here
+                // points at a live clause.
+                debug_assert!(!self.db.is_deleted(w.cref));
                 // Make sure the false literal is at position 1.
-                {
-                    let lits = &mut self.db.get_mut(w.cref).lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(lits[1], false_lit);
+                if self.db.lit(w.cref, 0) == false_lit {
+                    self.db.swap_lits(w.cref, 0, 1);
                 }
-                let first = self.db.lits(w.cref)[0];
+                debug_assert_eq!(self.db.lit(w.cref, 1), false_lit);
+                let first = self.db.lit(w.cref, 0);
                 let new_watcher = Watcher {
                     cref: w.cref,
                     blocker: first,
                 };
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    kept.push(new_watcher);
+                    watchers[j] = new_watcher;
+                    j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.db.lits(w.cref).len();
+                let len = self.db.len_of(w.cref);
                 for k in 2..len {
-                    let lk = self.db.lits(w.cref)[k];
+                    let lk = self.db.lit(w.cref, k);
                     if self.lit_value(lk) != LBool::False {
-                        let lits = &mut self.db.get_mut(w.cref).lits;
-                        lits.swap(1, k);
-                        let watch_lit = !lits[1];
-                        self.watches[watch_lit.code()].push(new_watcher);
+                        self.db.swap_lits(w.cref, 1, k);
+                        // `lk` is not false, so it is never `¬p`: this push
+                        // cannot touch the (taken) list we are compacting.
+                        self.watches[(!lk).code()].push(new_watcher);
                         continue 'watchers;
                     }
                 }
                 // No new watch: the clause is unit or conflicting.
-                kept.push(new_watcher);
+                watchers[j] = new_watcher;
+                j += 1;
                 if self.lit_value(first) == LBool::False {
                     // Conflict: keep the remaining watchers and stop.
-                    conflict = Some(w.cref);
+                    watchers.copy_within(i..num_watchers, j);
+                    j += num_watchers - i;
                     self.qhead = self.trail.len();
-                    kept.extend_from_slice(&watchers[idx..]);
-                    break 'watchers;
+                    conflict = Some(w.cref);
+                    break;
                 }
                 self.unchecked_enqueue(first, Some(w.cref));
             }
-            self.watches[p.code()] = kept;
+            watchers.truncate(j);
+            self.watches[pcode] = watchers;
             if conflict.is_some() {
-                break;
+                return conflict;
             }
         }
-        conflict
+        None
     }
 
     // ------------------------------------------------------ conflict analysis
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first), the backtrack level and the clause LBD.
-    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // slot 0 reserved
+    /// First-UIP conflict analysis. Leaves the learnt clause (asserting
+    /// literal first) in `self.learnt_buf` and returns the backtrack level
+    /// and the clause LBD. The buffer is reused across conflicts, so
+    /// conflict handling allocates nothing in steady state.
+    fn analyze(&mut self, confl: ClauseRef) -> (u32, u32) {
+        self.learnt_buf.clear();
+        self.learnt_buf.push(Lit::positive(Var::new(0))); // slot 0 reserved
         let mut path_c: u32 = 0;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut confl = confl;
 
         loop {
-            if self.db.get(confl).learnt {
+            if self.db.is_learnt(confl) {
                 self.bump_clause_activity(confl);
             }
-            let start = usize::from(p.is_some());
-            let clause_len = self.db.lits(confl).len();
-            for j in start..clause_len {
-                let q = self.db.lits(confl)[j];
+            let clause_len = self.db.len_of(confl);
+            for j in 0..clause_len {
+                let q = self.db.lit(confl, j);
+                // Skip the literal this reason clause implied (for long
+                // clauses it sits at position 0, but binary reasons are
+                // served from the binary watch lists without reordering the
+                // arena copy, so match by value instead of position).
+                if p == Some(q) {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.vardata[v.index()].level > 0 {
                     self.bump_var_activity(v);
@@ -641,7 +726,7 @@ impl Solver {
                     if self.vardata[v.index()].level >= self.decision_level() {
                         path_c += 1;
                     } else {
-                        learnt.push(q);
+                        self.learnt_buf.push(q);
                     }
                 }
             }
@@ -663,66 +748,77 @@ impl Solver {
                 .reason
                 .expect("non-decision literal on the conflict side has a reason");
         }
-        learnt[0] = !p.expect("analysis visited at least one literal");
+        self.learnt_buf[0] = !p.expect("analysis visited at least one literal");
 
         // Basic (local) clause minimization: a literal is redundant if its
         // reason clause only contains literals that are already in the learnt
-        // clause (or are at level 0).
-        let to_clear: Vec<Var> = learnt.iter().map(|l| l.var()).collect();
-        let before = learnt.len();
-        if self.config.clause_minimization && learnt.len() > 1 {
+        // clause (or are at level 0). The variables whose `seen` flag must be
+        // reset afterwards are remembered in a reusable scratch buffer
+        // (compaction below overwrites dropped literals).
+        self.toclear_buf.clear();
+        for i in 0..self.learnt_buf.len() {
+            let v = self.learnt_buf[i].var();
+            self.toclear_buf.push(v);
+        }
+        let before = self.learnt_buf.len();
+        if self.config.clause_minimization && self.learnt_buf.len() > 1 {
             let mut j = 1;
-            for i in 1..learnt.len() {
-                let lit = learnt[i];
+            for i in 1..self.learnt_buf.len() {
+                let lit = self.learnt_buf[i];
                 let v = lit.var();
                 let keep = match self.vardata[v.index()].reason {
                     None => true,
-                    Some(reason) => {
-                        let lits = self.db.lits(reason);
-                        lits.iter().skip(1).any(|&q| {
-                            !self.seen[q.var().index()] && self.vardata[q.var().index()].level > 0
-                        })
-                    }
+                    // Skip the implied literal by variable (it is `¬lit`'s
+                    // variable) rather than by position; binary reasons do
+                    // not maintain the position-0 invariant.
+                    Some(reason) => (0..self.db.len_of(reason)).any(|k| {
+                        let q = self.db.lit(reason, k);
+                        q.var() != v
+                            && !self.seen[q.var().index()]
+                            && self.vardata[q.var().index()].level > 0
+                    }),
                 };
                 if keep {
-                    learnt[j] = lit;
+                    self.learnt_buf[j] = lit;
                     j += 1;
                 }
             }
-            learnt.truncate(j);
+            self.learnt_buf.truncate(j);
         }
-        self.stats.learnt_literals += learnt.len() as u64;
-        self.stats.minimized_literals += (before - learnt.len()) as u64;
-        for v in to_clear {
+        self.stats.learnt_literals += self.learnt_buf.len() as u64;
+        self.stats.minimized_literals += (before - self.learnt_buf.len()) as u64;
+        for i in 0..self.toclear_buf.len() {
+            let v = self.toclear_buf[i];
             self.seen[v.index()] = false;
         }
 
         // Compute the backtrack level and move the highest-level literal to slot 1.
-        let backtrack_level = if learnt.len() == 1 {
+        let backtrack_level = if self.learnt_buf.len() == 1 {
             0
         } else {
             let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.vardata[learnt[i].var().index()].level
-                    > self.vardata[learnt[max_i].var().index()].level
+            for i in 2..self.learnt_buf.len() {
+                if self.vardata[self.learnt_buf[i].var().index()].level
+                    > self.vardata[self.learnt_buf[max_i].var().index()].level
                 {
                     max_i = i;
                 }
             }
-            learnt.swap(1, max_i);
-            self.vardata[learnt[1].var().index()].level
+            self.learnt_buf.swap(1, max_i);
+            self.vardata[self.learnt_buf[1].var().index()].level
         };
 
         // Literal block distance: number of distinct decision levels.
-        let mut levels: Vec<u32> = learnt
-            .iter()
-            .map(|l| self.vardata[l.var().index()].level)
-            .collect();
-        levels.sort_unstable();
-        levels.dedup();
-        let lbd = levels.len() as u32;
+        self.levels_buf.clear();
+        for i in 0..self.learnt_buf.len() {
+            let level = self.vardata[self.learnt_buf[i].var().index()].level;
+            self.levels_buf.push(level);
+        }
+        self.levels_buf.sort_unstable();
+        self.levels_buf.dedup();
+        let lbd = self.levels_buf.len() as u32;
 
-        (learnt, backtrack_level, lbd)
+        (backtrack_level, lbd)
     }
 
     // ------------------------------------------------------------ backtracking
@@ -735,7 +831,8 @@ impl Solver {
         for c in (bound..self.trail.len()).rev() {
             let lit = self.trail[c];
             let v = lit.var();
-            self.assigns[v.index()] = LBool::Undef;
+            self.assigns[lit.code()] = LBool::Undef;
+            self.assigns[(!lit).code()] = LBool::Undef;
             if self.config.phase_saving {
                 self.polarity[v.index()] = lit.is_positive();
             }
@@ -763,8 +860,9 @@ impl Solver {
 
     fn extract_model(&self) -> Assignment {
         let mut model = Assignment::new(self.num_vars());
-        for (i, &value) in self.assigns.iter().enumerate() {
-            model.assign(Var::new(i as u32), value.to_bool().unwrap_or(false));
+        for i in 0..self.num_vars() {
+            let v = Var::new(i as u32);
+            model.assign(v, self.var_value(v).to_bool().unwrap_or(false));
         }
         model
     }
@@ -788,14 +886,13 @@ impl Solver {
     }
 
     fn bump_clause_activity(&mut self, cref: ClauseRef) {
-        let act = {
-            let c = self.db.get_mut(cref);
-            c.activity += self.cla_inc;
-            c.activity
-        };
+        let act = self.db.activity(cref) + self.cla_inc as f32;
+        self.db.set_activity(cref, act);
         if act > 1e20 {
-            for &learnt in &self.learnts {
-                self.db.get_mut(learnt).activity *= 1e-20;
+            for i in 0..self.learnts.len() {
+                let learnt = self.learnts[i];
+                let rescaled = self.db.activity(learnt) * 1e-20;
+                self.db.set_activity(learnt, rescaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -808,35 +905,37 @@ impl Solver {
     // ----------------------------------------------------------- clause moves
 
     fn attach_clause(&mut self, cref: ClauseRef) {
-        let lits = self.db.lits(cref);
-        debug_assert!(lits.len() >= 2);
-        let (l0, l1) = (lits[0], lits[1]);
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        debug_assert!(self.db.len_of(cref) >= 2);
+        let (l0, l1) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
+        if self.db.len_of(cref) == 2 {
+            self.bin_watches[(!l0).code()].push(BinWatcher { cref, other: l1 });
+            self.bin_watches[(!l1).code()].push(BinWatcher { cref, other: l0 });
+        } else {
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
     fn detach_clause(&mut self, cref: ClauseRef) {
-        let lits = self.db.lits(cref);
-        let (l0, l1) = (lits[0], lits[1]);
-        self.watches[(!l0).code()].retain(|w| w.cref != cref);
-        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+        let (l0, l1) = (self.db.lit(cref, 0), self.db.lit(cref, 1));
+        if self.db.len_of(cref) == 2 {
+            self.bin_watches[(!l0).code()].retain(|w| w.cref != cref);
+            self.bin_watches[(!l1).code()].retain(|w| w.cref != cref);
+        } else {
+            self.watches[(!l0).code()].retain(|w| w.cref != cref);
+            self.watches[(!l1).code()].retain(|w| w.cref != cref);
+        }
     }
 
     fn is_locked(&self, cref: ClauseRef) -> bool {
-        let first = self.db.lits(cref)[0];
+        let first = self.db.lit(cref, 0);
         self.lit_value(first) == LBool::True
             && self.vardata[first.var().index()].reason == Some(cref)
     }
 
     /// Removes roughly half of the learnt clauses, preferring clauses with
     /// low activity and high LBD. Clauses that are reasons for current
-    /// assignments or have LBD ≤ `protected_lbd` are kept.
+    /// assignments, have LBD ≤ `protected_lbd`, or are binary are kept.
     fn reduce_db(&mut self) {
         let mut candidates: Vec<ClauseRef> = self
             .learnts
@@ -845,15 +944,17 @@ impl Solver {
             .filter(|&c| {
                 !self.db.is_deleted(c)
                     && !self.is_locked(c)
-                    && self.db.get(c).lbd > self.config.protected_lbd
+                    && self.db.len_of(c) > 2
+                    && self.db.lbd(c) > self.config.protected_lbd
             })
             .collect();
         candidates.sort_by(|&a, &b| {
-            let ca = self.db.get(a);
-            let cb = self.db.get(b);
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = candidates.len() / 2;
         for &cref in candidates.iter().take(to_remove) {
@@ -863,6 +964,54 @@ impl Solver {
         }
         self.learnts.retain(|&c| !self.db.is_deleted(c));
         self.max_learnts *= self.config.learntsize_inc;
+        if self.db.should_collect(self.config.garbage_frac) {
+            self.collect_garbage();
+        }
+    }
+
+    /// Compacts the clause arena and rewrites every stored [`ClauseRef`]
+    /// through the relocation table: watch lists (long and binary), the
+    /// original/learnt rosters, and reason slots of assigned variables.
+    fn collect_garbage(&mut self) {
+        let reloc = self.db.collect();
+        for list in &mut self.watches {
+            list.retain_mut(|w| match reloc.new_ref(w.cref) {
+                Some(nc) => {
+                    w.cref = nc;
+                    true
+                }
+                None => false,
+            });
+        }
+        for list in &mut self.bin_watches {
+            list.retain_mut(|w| match reloc.new_ref(w.cref) {
+                Some(nc) => {
+                    w.cref = nc;
+                    true
+                }
+                None => false,
+            });
+        }
+        for cref in &mut self.original {
+            *cref = reloc
+                .new_ref(*cref)
+                .expect("original clauses are never deleted");
+        }
+        for cref in &mut self.learnts {
+            *cref = reloc
+                .new_ref(*cref)
+                .expect("deleted learnts were pruned before collection");
+        }
+        for data in &mut self.vardata {
+            if let Some(reason) = data.reason {
+                data.reason = Some(
+                    reloc
+                        .new_ref(reason)
+                        .expect("reason clauses are locked and never deleted"),
+                );
+            }
+        }
+        self.stats.gc_runs += 1;
     }
 }
 
@@ -929,7 +1078,8 @@ mod tests {
 
     #[test]
     fn model_satisfies_formula() {
-        let text = "p cnf 6 8\n1 2 0\n-1 3 0\n-3 -2 0\n4 5 6 0\n-4 -5 0\n-5 -6 0\n-4 -6 0\n2 -6 0\n";
+        let text =
+            "p cnf 6 8\n1 2 0\n-1 3 0\n-3 -2 0\n4 5 6 0\n-4 -5 0\n-5 -6 0\n-4 -6 0\n2 -6 0\n";
         let cnf = dimacs::parse_str(text).unwrap();
         let mut s = Solver::from_cnf(&cnf);
         match s.solve() {
@@ -968,10 +1118,7 @@ mod tests {
     fn conflicting_assumptions_are_unsat() {
         let mut s = Solver::new();
         s.add_clause([lit(1), lit(2)]);
-        assert_eq!(
-            s.solve_with_assumptions(&[lit(1), lit(-1)]),
-            Verdict::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[lit(1), lit(-1)]), Verdict::Unsat);
         assert!(s.is_ok());
     }
 
@@ -1010,7 +1157,9 @@ mod tests {
             other => panic!("expected interruption, got {other:?}"),
         }
         flag.reset();
-        assert!(s.solve_limited(&[], &Budget::unlimited(), Some(&flag)).is_sat());
+        assert!(s
+            .solve_limited(&[], &Budget::unlimited(), Some(&flag))
+            .is_sat());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct SolverStats {
     pub learnt_literals: u64,
     /// Number of literals removed by clause minimization.
     pub minimized_literals: u64,
+    /// Number of compacting garbage collections of the clause arena.
+    pub gc_runs: u64,
     /// Total wall-clock time spent inside `solve` calls.
     #[serde(with = "duration_secs")]
     pub solve_time: Duration,
@@ -46,10 +48,14 @@ impl SolverStats {
         self.removed_clauses += other.removed_clauses;
         self.learnt_literals += other.learnt_literals;
         self.minimized_literals += other.minimized_literals;
+        self.gc_runs += other.gc_runs;
         self.solve_time += other.solve_time;
     }
 }
 
+// Only referenced through `#[serde(with = ...)]`, which the offline serde
+// stub's derive ignores; kept for when a real serializer is wired in.
+#[allow(dead_code)]
 mod duration_secs {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::time::Duration;

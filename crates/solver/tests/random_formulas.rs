@@ -21,6 +21,73 @@ fn random_cnf(seed: u64, n: usize, m: usize, k: usize) -> Cnf {
     cnf
 }
 
+/// Generates a random formula whose clauses each have exactly three distinct
+/// variables (no accidental units), at a clause/variable ratio the caller
+/// picks; used by the GC tests, which need conflict-rich instances.
+fn random_3cnf(seed: u64, n: usize, m: usize) -> Cnf {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(n);
+    for _ in 0..m {
+        let mut vars: Vec<u32> = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..n) as u32;
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+/// Brute-force clause evaluation: `true` iff every clause of `cnf` contains a
+/// literal satisfied by `model`. Deliberately reimplemented here (instead of
+/// calling `Cnf::is_satisfied_by`) so the differential tests check the
+/// solver's arena-based propagation against an independent evaluator.
+fn brute_force_satisfied(cnf: &Cnf, model: &pdsat_cnf::Assignment) -> bool {
+    cnf.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|lit| model.lit_value(lit).to_bool() == Some(true))
+    })
+}
+
+/// An unsatisfiable pigeonhole formula (`pigeons` into `pigeons - 1` holes);
+/// mostly binary clauses, exercising the dedicated binary watch lists.
+fn pigeonhole(pigeons: usize) -> Cnf {
+    let holes = pigeons - 1;
+    let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+    let mut cnf = Cnf::new(pigeons * holes);
+    for i in 0..pigeons {
+        cnf.add_clause((0..holes).map(|j| var(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                cnf.add_clause([!var(i1, j), !var(i2, j)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// A configuration that stresses the clause arena: clause deletion kicks in
+/// almost immediately and the garbage collector runs as soon as any space is
+/// wasted, so refs relocate many times within a single solve.
+fn gc_stress_config() -> SolverConfig {
+    SolverConfig {
+        min_learnt_limit: 1,
+        learntsize_factor: 0.0,
+        luby_restart_base: 10,
+        garbage_frac: 0.01,
+        ..SolverConfig::default()
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -113,6 +180,119 @@ proptest! {
             Solver::from_cnf_with_config(&cnf, aggressive).solve().is_sat();
         prop_assert_eq!(default_verdict, aggressive_verdict);
     }
+
+    /// Differential test of the arena-based propagation: on binary-heavy
+    /// random formulas (the mix that exercises both the dedicated binary
+    /// watch lists and the long-clause watchers) the solver's verdict and
+    /// model must agree with brute-force clause evaluation, and two runs must
+    /// produce byte-identical statistics (the estimator's determinism
+    /// requirement).
+    #[test]
+    fn arena_propagation_matches_brute_force(seed in 0u64..4_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let n = rng.gen_range(3..11usize);
+        let m = rng.gen_range(2..45usize);
+        // k = 2 produces mostly-binary formulas, k = 4 mostly-long ones.
+        let k = rng.gen_range(2..=4usize);
+        let cnf = random_cnf(seed.wrapping_mul(97), n, m, k);
+
+        let run = |cnf: &Cnf| {
+            let mut solver = Solver::from_cnf(cnf);
+            let verdict = solver.solve();
+            (verdict, *solver.stats())
+        };
+        let (verdict, stats) = run(&cnf);
+        let (verdict2, stats2) = run(&cnf);
+        prop_assert_eq!(&verdict, &verdict2, "solver must be deterministic");
+        // Compare the counted statistics (wall-clock time naturally differs).
+        prop_assert_eq!(stats.conflicts, stats2.conflicts);
+        prop_assert_eq!(stats.decisions, stats2.decisions);
+        prop_assert_eq!(stats.propagations, stats2.propagations);
+        prop_assert_eq!(stats.restarts, stats2.restarts);
+        prop_assert_eq!(stats.learnt_clauses, stats2.learnt_clauses);
+        prop_assert_eq!(stats.removed_clauses, stats2.removed_clauses);
+        prop_assert_eq!(stats.learnt_literals, stats2.learnt_literals);
+        prop_assert_eq!(stats.minimized_literals, stats2.minimized_literals);
+        prop_assert_eq!(stats.gc_runs, stats2.gc_runs);
+
+        match verdict {
+            Verdict::Sat(model) => {
+                prop_assert!(
+                    brute_force_satisfied(&cnf, &model),
+                    "model must satisfy every clause under brute-force evaluation"
+                );
+                prop_assert!(cnf.brute_force_model().is_some());
+            }
+            Verdict::Unsat => prop_assert!(cnf.brute_force_model().is_none()),
+            Verdict::Unknown(r) => prop_assert!(false, "unlimited solve returned Unknown: {r}"),
+        }
+    }
+
+    /// The GC-stress configuration (constant clause deletion + immediate
+    /// arena compaction) must not change any verdict.
+    #[test]
+    fn gc_stress_config_agrees_with_brute_force(seed in 0u64..1_500) {
+        let cnf = random_cnf(seed.wrapping_mul(13).wrapping_add(5), 10, 40, 3);
+        let mut solver = Solver::from_cnf_with_config(&cnf, gc_stress_config());
+        let sat = solver.solve().is_sat();
+        prop_assert_eq!(sat, cnf.brute_force_model().is_some());
+    }
+}
+
+/// Driving the solver through many `reduce_db` cycles with an aggressive
+/// configuration forces several compacting garbage collections; watcher
+/// lists, reason slots and the learnt roster must stay coherent across every
+/// relocation or the verdict (and the solver's internal asserts) would break.
+#[test]
+fn gc_relocation_keeps_watchers_coherent() {
+    let cnf = pigeonhole(7);
+    let mut solver = Solver::from_cnf_with_config(&cnf, gc_stress_config());
+    assert_eq!(solver.solve(), Verdict::Unsat);
+    let stats = *solver.stats();
+    assert!(
+        stats.gc_runs > 0,
+        "the stress config must actually trigger arena compaction (gc_runs = 0)"
+    );
+    assert!(
+        stats.removed_clauses > 0,
+        "reduce_db must have deleted learnts"
+    );
+
+    // The solver stays usable (and correct) after all those relocations:
+    // solving the same instance incrementally under assumptions still
+    // enumerates a complete, consistent family of sub-problems.
+    for idx in 0..4u64 {
+        let cube = Cube::from_bits(&[Var::new(0), Var::new(1)], idx);
+        assert_eq!(
+            solver.solve_with_assumptions(&cube.to_assumptions()),
+            Verdict::Unsat,
+            "sub-problem {idx} of an UNSAT instance must be UNSAT"
+        );
+    }
+}
+
+/// Same coherence check on a satisfiable instance: after repeated GC the
+/// solver must still produce a model that satisfies the formula.
+#[test]
+fn gc_relocation_preserves_models() {
+    let mut found_gc = false;
+    for seed in 0..40u64 {
+        let cnf = random_3cnf(seed.wrapping_mul(131).wrapping_add(7), 14, 60);
+        let mut solver = Solver::from_cnf_with_config(&cnf, gc_stress_config());
+        match solver.solve() {
+            Verdict::Sat(model) => assert!(
+                brute_force_satisfied(&cnf, &model),
+                "model must survive arena relocations (seed {seed})"
+            ),
+            Verdict::Unsat => assert!(cnf.brute_force_model().is_none()),
+            Verdict::Unknown(r) => panic!("unlimited solve returned Unknown: {r}"),
+        }
+        found_gc |= solver.stats().gc_runs > 0;
+    }
+    assert!(
+        found_gc,
+        "at least one instance must have compacted its arena"
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release --example a51_cryptanalysis`.
 
-use pdsat::ciphers::{A51, InstanceBuilder, StreamCipher};
+use pdsat::ciphers::{InstanceBuilder, StreamCipher, A51};
 use pdsat::core::{
     solve_family, CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
     SolveModeConfig, TabuConfig, TabuSearch,
@@ -77,14 +77,20 @@ fn main() {
     );
 
     // Recover and verify the key.
-    let model = report.model.expect("the secret state is a model, so one must be found");
+    let model = report
+        .model
+        .expect("the secret state is a model, so one must be found");
     let state = instance.state_from_model(&model);
     assert_eq!(
         cipher.keystream(&state, instance.keystream().len()),
         instance.keystream(),
         "recovered state must reproduce the observed keystream"
     );
-    println!("recovered a state reproducing all {} keystream bits ✓", instance.keystream().len());
-    let deviation = 100.0 * (report.total_cost - outcome.best_value).abs() / report.total_cost.max(1.0);
+    println!(
+        "recovered a state reproducing all {} keystream bits ✓",
+        instance.keystream().len()
+    );
+    let deviation =
+        100.0 * (report.total_cost - outcome.best_value).abs() / report.total_cost.max(1.0);
     println!("predictive function deviated from the real family cost by {deviation:.1}%");
 }

@@ -7,8 +7,7 @@
 use pdsat::ciphers::{Grain, InstanceBuilder};
 use pdsat::core::{solve_family, CostMetric, DecompositionSet, SolveModeConfig};
 use pdsat::distrib::{
-    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
-    GridConfig,
+    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig, GridConfig,
 };
 use rand::SeedableRng;
 

@@ -39,7 +39,11 @@ fn main() {
 
     // A decomposition set: the first 8 variables.
     let set = DecompositionSet::new((0..8).map(Var::new));
-    println!("decomposition set: {} variables → {} sub-problems", set.len(), 1u64 << set.len());
+    println!(
+        "decomposition set: {} variables → {} sub-problems",
+        set.len(),
+        1u64 << set.len()
+    );
 
     // Estimate the total cost of the family from a random sample of 32 cubes
     // (the predictive function F of the paper, eq. 5). We measure cost in

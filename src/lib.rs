@@ -49,8 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use pdsat_circuit as circuit;
 pub use pdsat_ciphers as ciphers;
+pub use pdsat_circuit as circuit;
 pub use pdsat_cnf as cnf;
 pub use pdsat_core as core;
 pub use pdsat_distrib as distrib;

@@ -3,7 +3,7 @@
 //! its cost, process the family, recover the key and compare estimate vs
 //! reality.
 
-use pdsat::ciphers::{A51, Bivium, Grain, Instance, InstanceBuilder, StreamCipher};
+use pdsat::ciphers::{Bivium, Grain, Instance, InstanceBuilder, StreamCipher, A51};
 use pdsat::core::{
     solve_family, AnnealingConfig, CostMetric, Evaluator, EvaluatorConfig, SearchLimits,
     SearchSpace, SimulatedAnnealing, SolveModeConfig, TabuConfig, TabuSearch,
@@ -47,11 +47,16 @@ fn full_pipeline<C: StreamCipher + Copy>(cipher: C, instance: Instance) {
         },
         None,
     );
-    assert_eq!(report.cubes_processed as u128, 1u128 << outcome.best_set.len());
+    assert_eq!(
+        report.cubes_processed as u128,
+        1u128 << outcome.best_set.len()
+    );
     assert!(report.sat_count >= 1, "the secret state is a model");
 
     // The recovered state reproduces the keystream.
-    let model = report.model.expect("satisfying sub-problem produces a model");
+    let model = report
+        .model
+        .expect("satisfying sub-problem produces a model");
     let state = instance.state_from_model(&model);
     assert_eq!(
         cipher.keystream(&state, instance.keystream().len()),

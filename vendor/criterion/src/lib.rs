@@ -1,0 +1,392 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset used by `crates/bench`: benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`/`throughput`,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`/`iter_batched`.
+//!
+//! Measurement model: after a warm-up phase that estimates the per-iteration
+//! cost, each benchmark takes `sample_size` samples; a sample times a batch
+//! of iterations sized so the samples together roughly fill
+//! `measurement_time`. The reported statistic is the median per-iteration
+//! time across samples — the same statistic criterion reports — so numbers
+//! are comparable run-to-run even though confidence intervals and outlier
+//! analysis are not implemented.
+//!
+//! Environment knobs:
+//!
+//! * `PDSAT_BENCH_JSON=<path>` — write every benchmark's summary to a JSON
+//!   file at `<path>` when the harness exits (used for `BENCH_solver.json`
+//!   snapshots in CI). The file is overwritten, so point each bench binary
+//!   at its own path.
+//! * `PDSAT_BENCH_MAX_MS=<ms>` — cap each benchmark's measurement time (for
+//!   quick smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark, kept for the end-of-run JSON snapshot.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Throughput annotation (recorded but not currently reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing policy for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap; batch many per timing window.
+    SmallInput,
+    /// Inputs are expensive; batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark (`<function>/<parameter>`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where criterion expects a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The `<group>`-relative identifier string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Records the throughput of subsequent benchmarks (not reported).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(
+            &full_id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = id.into_id();
+        run_benchmark(
+            &full_id,
+            10,
+            Duration::from_millis(300),
+            Duration::from_millis(900),
+            &mut f,
+        );
+        self
+    }
+}
+
+fn env_millis(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let measurement_time = match env_millis("PDSAT_BENCH_MAX_MS") {
+        Some(cap) => measurement_time.min(cap),
+        None => measurement_time,
+    };
+
+    // Warm-up: estimate the per-iteration cost.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_up_start.elapsed() < warm_up_time || warm_iters == 0 {
+        f(&mut bencher);
+        warm_iters += bencher.iters;
+        warm_elapsed += bencher.elapsed;
+    }
+    let est_iter_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+    // Size each sample so all samples together roughly fill measurement_time.
+    let budget_ns = measurement_time.as_nanos() as f64 / sample_size as f64;
+    let iters_per_sample = (budget_ns / est_iter_ns).round().max(1.0) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters_per_sample;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = if per_iter_ns.len() % 2 == 1 {
+        per_iter_ns[per_iter_ns.len() / 2]
+    } else {
+        let hi = per_iter_ns.len() / 2;
+        (per_iter_ns[hi - 1] + per_iter_ns[hi]) / 2.0
+    };
+
+    println!(
+        "bench {id:<55} median {:>12}  ({} samples x {} iters)",
+        format_ns(median_ns),
+        per_iter_ns.len(),
+        iters_per_sample,
+    );
+
+    RESULTS
+        .lock()
+        .expect("bench registry lock")
+        .push(BenchRecord {
+            id: id.to_string(),
+            median_ns,
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+        });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Writes the JSON snapshot if `PDSAT_BENCH_JSON` is set. Called by
+/// [`criterion_main!`] after all groups have run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("PDSAT_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench registry lock");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}\n",
+            r.id, r.median_ns, r.samples, r.iters_per_sample
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::File::create(&path).and_then(|mut file| file.write_all(out.as_bytes())) {
+        Ok(()) => println!("bench snapshot written to {path}"),
+        Err(e) => eprintln!("failed to write bench snapshot to {path}: {e}"),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("stub");
+            group
+                .sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput);
+            });
+            group.finish();
+        }
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|r| r.id == "stub/noop"));
+        assert!(results.iter().any(|r| r.id == "stub/param/7"));
+        assert!(results.iter().all(|r| r.median_ns >= 0.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest surface this workspace uses:
+//!
+//! * the `proptest! { ... }` macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * parameters of the form `name in strategy` (integer and `f64` ranges,
+//!   `prop::collection::vec`) and `name: type` (via [`Arbitrary`]),
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Each test runs `cases` deterministic iterations: case `i` draws its inputs
+//! from an RNG seeded with a fixed constant mixed with `i`, so failures are
+//! reproducible run-to-run. There is no shrinking — the failing inputs are
+//! small enough here that plain `assert!` diagnostics suffice.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` iterations per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for the given case index; fixed seed base keeps runs reproducible.
+    #[must_use]
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(
+            0x5EED_CAFE ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value source (vast simplification of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng.rng(), self.clone())
+    }
+}
+
+/// Types with a canonical strategy, used for `name: type` parameters.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::Rng::gen(rng.rng())
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rand::Rng::gen(rng.rng())
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rand::Rng::gen(rng.rng())
+    }
+}
+
+/// Strategy combinators namespace (subset of `proptest::prop`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of values drawn from `element`, with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng.rng(), self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest::prelude::*` glob is expected to provide.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestRng,
+    };
+
+    /// The `prop::` combinator namespace.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Each `fn name(params) { body }` item becomes a `#[test]` that runs the
+/// body once per case with parameters drawn from their strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut case_rng = $crate::TestRng::for_case(u64::from(case));
+                $crate::__proptest_bind! { case_rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $p:ident in $e:expr) => {
+        let $p = $crate::Strategy::sample(&($e), &mut $rng);
+    };
+    ($rng:ident; $p:ident in $e:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::sample(&($e), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $p:ident : $t:ty) => {
+        let $p: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $p:ident : $t:ty, $($rest:tt)*) => {
+        let $p: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_hold(x in 3u64..10, y in 1usize..=4, f in 0.5f64..1.5, flag: bool) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vecs_hold(values in prop::collection::vec(0.0f64..1e3, 2..10)) {
+            prop_assert!((2..10).contains(&values.len()));
+            prop_assert!(values.iter().all(|v| (0.0..1e3).contains(v)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        let s = 0u64..1000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace builds in a hermetic environment without access to
+//! crates.io, so this crate provides exactly the trait surface the code base
+//! touches: the `Serialize`/`Deserialize` marker-style traits, minimal
+//! `Serializer`/`Deserializer` traits, and implementations for the handful of
+//! primitive types used by the `#[serde(with = "...")]` helper modules
+//! (`f64`, `Option<f64>`, `Duration` helpers call these).
+//!
+//! No data format (JSON, bincode, …) ships in-tree, so none of the generated
+//! code ever runs; it only has to type-check. If a real serializer is ever
+//! added to the workspace, replace this stub with the actual `serde` crate —
+//! the API subset here is signature-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error plumbing for deserializers, mirroring `serde::de`.
+pub mod de {
+    /// Minimal error-construction trait for [`Deserializer`](crate::Deserializer) errors.
+    pub trait Error: Sized {
+        /// Builds an error carrying a custom message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Error plumbing for serializers, mirroring `serde::ser`.
+pub mod ser {
+    /// Minimal error-construction trait for [`Serializer`](crate::Serializer) errors.
+    pub trait Error: Sized {
+        /// Builds an error carrying a custom message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialized into any data format.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data structure that can be deserialized from any data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can serialize values (subset of `serde::Serializer`).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serializes a unit value (the stub derive lowers every type to this).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values (subset of `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Deserializes an `f64`.
+    fn deserialize_f64_value(self) -> Result<f64, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64_value(self) -> Result<u64, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool_value(self) -> Result<bool, Self::Error>;
+    /// Deserializes an optional value.
+    fn deserialize_option_value<T: Deserialize<'de>>(self) -> Result<Option<T>, Self::Error>;
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_option_value()
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits no-op `Serialize`/`Deserialize` impls that exist purely so that
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) type-check without the real proc-macro stack (`syn`/`quote`
+//! are not available offline). The generated impls serialize every type as a
+//! unit and refuse to deserialize; no serializer implementation ships in the
+//! workspace, so these bodies are never executed.
+//!
+//! Limitation: only non-generic `struct`/`enum` items are supported, which
+//! covers every derived type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum` the derive is attached to.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                for next in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in the derive input");
+}
+
+/// Stub `#[derive(Serialize)]`: serializes any type as a unit.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Serialize impl parses")
+}
+
+/// Stub `#[derive(Deserialize)]`: always errors at run time (never invoked).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {{\n\
+                 Err(<D::Error as serde::de::Error>::custom(\n\
+                     \"the offline serde stub cannot deserialize {name}\",\n\
+                 ))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("stub Deserialize impl parses")
+}
