@@ -2,8 +2,9 @@
 //! the paper's estimator feeds it — weakened cipher inversion sub-problems
 //! and a combinatorial UNSAT stress test.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use pdsat_bench::{bench_a51_instance, bench_bivium_instance, pigeonhole, start_set};
+use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle};
 use pdsat_solver::Solver;
 use std::time::Duration;
 
@@ -49,6 +50,32 @@ fn bench_solver(c: &mut Criterion) {
             assert!(!verdict.is_unknown());
         });
     });
+
+    // The same 64 sub-problems through the two CubeOracle backends: the
+    // fresh/warm gap isolates the per-cube cost of reloading the clause
+    // database and relearning, i.e. what PDSAT's long-lived workers save.
+    for backend in [BackendKind::Fresh, BackendKind::Warm] {
+        group.bench_with_input(
+            BenchmarkId::new("bivium_oracle_64_cubes_backend", backend.name()),
+            &backend,
+            |b, &backend| {
+                let instance = bench_bivium_instance();
+                let set = start_set(&instance);
+                let cubes: Vec<_> = (0..64).map(|i| set.cube_from_index(i)).collect();
+                let config = BatchConfig {
+                    cost: CostMetric::Conflicts,
+                    backend,
+                    ..BatchConfig::default()
+                };
+                b.iter(|| {
+                    let batch = CubeOracle::borrowed(instance.cnf(), config.clone())
+                        .solve_batch(&cubes, None);
+                    assert_eq!(batch.outcomes.len(), 64);
+                    batch.solver_stats.propagations
+                });
+            },
+        );
+    }
 
     group.finish();
 }

@@ -1,0 +1,183 @@
+//! Bench-snapshot regression gate.
+//!
+//! Compares the medians of a freshly produced `PDSAT_BENCH_JSON` snapshot
+//! against the committed baseline and fails (exit 1) when any selected
+//! benchmark regressed beyond the allowed percentage. CI uses it to protect
+//! the warm-backend solving-mode numbers:
+//!
+//! ```text
+//! bench_gate BENCH_solver.json bench_table3_current.json backend/warm 10
+//! ```
+//!
+//! The snapshot format is the fixed one the vendored criterion stand-in
+//! writes (one `{"id": …, "median_ns": …}` object per line), so a
+//! hand-rolled extractor is all the parsing needed — the build environment
+//! has no JSON crate.
+
+use std::process::ExitCode;
+
+/// Extracts `(id, median_ns)` pairs from a `PDSAT_BENCH_JSON` snapshot.
+fn parse_snapshot(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\":") else {
+            continue;
+        };
+        let rest = &line[id_at + 5..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        let Some(med_at) = line.find("\"median_ns\":") else {
+            continue;
+        };
+        let tail = &line[med_at + 12..];
+        let number: String = tail
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+            .collect();
+        if let Ok(median) = number.parse::<f64>() {
+            out.push((id, median));
+        }
+    }
+    out
+}
+
+fn lookup(snapshot: &[(String, f64)], id: &str) -> Option<f64> {
+    snapshot.iter().find(|(i, _)| i == id).map(|&(_, m)| m)
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let [baseline_path, current_path, needle, max_regression_percent] = args else {
+        return Err(
+            "usage: bench_gate <baseline.json> <current.json> <id-substring> <max-regression-%>"
+                .to_string(),
+        );
+    };
+    let allowed: f64 = max_regression_percent
+        .parse()
+        .map_err(|_| format!("bad percentage '{max_regression_percent}'"))?;
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_snapshot(&read(baseline_path)?);
+    let current = parse_snapshot(&read(current_path)?);
+
+    let mut checked = 0;
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    for (id, median) in current
+        .iter()
+        .filter(|(id, _)| id.contains(needle.as_str()))
+    {
+        let Some(base) = lookup(&baseline, id) else {
+            report.push_str(&format!("  {id}: no baseline entry, skipped\n"));
+            continue;
+        };
+        checked += 1;
+        let change = 100.0 * (median - base) / base;
+        report.push_str(&format!(
+            "  {id}: baseline {base:.0} ns, current {median:.0} ns ({change:+.1} %)\n"
+        ));
+        if *median > base * (1.0 + allowed / 100.0) {
+            failures.push(format!(
+                "{id} regressed {change:+.1} % (> {allowed} % allowed)"
+            ));
+        }
+    }
+    if checked == 0 {
+        return Err(format!(
+            "no benchmark matching '{needle}' found in both snapshots\n{report}"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(format!("bench gate OK ({checked} checked)\n{report}"))
+    } else {
+        Err(format!(
+            "bench gate FAILED:\n{}\n{report}",
+            failures.join("\n")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "benchmarks": [
+    {"id": "table3_solving_mode/bivium_family_1024_cubes_backend/warm", "median_ns": 3000000.0, "samples": 10, "iters_per_sample": 68},
+    {"id": "solver_substrate/pigeonhole_7_unsat", "median_ns": 3868307.0, "samples": 10, "iters_per_sample": 23}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_stub_snapshot_format() {
+        let parsed = parse_snapshot(SNAPSHOT);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0].0,
+            "table3_solving_mode/bivium_family_1024_cubes_backend/warm"
+        );
+        assert!((parsed[0].1 - 3_000_000.0).abs() < 1e-6);
+        assert!(
+            (lookup(&parsed, "solver_substrate/pigeonhole_7_unsat").unwrap() - 3_868_307.0).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let dir = std::env::temp_dir().join("pdsat_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&baseline, SNAPSHOT).unwrap();
+
+        // 5 % slower: inside a 10 % gate, outside a 2 % gate.
+        let slower = SNAPSHOT.replace("3000000.0", "3150000.0");
+        let current = dir.join("current.json");
+        std::fs::write(&current, slower).unwrap();
+
+        let args = |pct: &str| {
+            vec![
+                baseline.to_string_lossy().into_owned(),
+                current.to_string_lossy().into_owned(),
+                "backend/warm".to_string(),
+                pct.to_string(),
+            ]
+        };
+        assert!(run(&args("10")).is_ok());
+        assert!(run(&args("2")).is_err());
+    }
+
+    #[test]
+    fn gate_fails_when_nothing_matches() {
+        let dir = std::env::temp_dir().join("pdsat_bench_gate_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        std::fs::write(&path, SNAPSHOT).unwrap();
+        let args = vec![
+            path.to_string_lossy().into_owned(),
+            path.to_string_lossy().into_owned(),
+            "no_such_bench".to_string(),
+            "10".to_string(),
+        ];
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,10 +1,14 @@
 //! Ablation studies of the paper's design choices (§3).
 
 use pdsat_experiments::ablations::run_ablations;
-use pdsat_experiments::ScaledWorkload;
+use pdsat_experiments::{backend_from_env, ScaledWorkload};
 
 fn main() {
-    let workload = ScaledWorkload::bivium();
+    let mut workload = ScaledWorkload::bivium();
+    if let Some(backend) = backend_from_env() {
+        workload.backend = backend;
+        println!("(sub-problems solved on the {backend} backend)");
+    }
     let result = run_ablations(&workload);
     for table in result.tables() {
         println!("{table}");

@@ -2,10 +2,14 @@
 //! families on a volunteer computing grid.
 
 use pdsat_experiments::sathome::run_sathome;
-use pdsat_experiments::ScaledWorkload;
+use pdsat_experiments::{backend_from_env, ScaledWorkload};
 
 fn main() {
-    let workload = ScaledWorkload::a51();
+    let mut workload = ScaledWorkload::a51();
+    if let Some(backend) = backend_from_env() {
+        workload.backend = backend;
+        println!("(estimation sub-problems on the {backend} backend)");
+    }
     let hosts = 64;
     let result = run_sathome(&workload, hosts);
     println!("{}", result.table());

@@ -1,15 +1,19 @@
 //! Regenerates Table 1 of the paper on a scaled A5/1 instance.
 
 use pdsat_experiments::table1::run_table1;
-use pdsat_experiments::ScaledWorkload;
+use pdsat_experiments::{backend_from_env, ScaledWorkload};
 
 fn main() {
-    let workload = ScaledWorkload::a51();
+    let mut workload = ScaledWorkload::a51();
+    if let Some(backend) = backend_from_env() {
+        workload.backend = backend;
+    }
     println!(
-        "Scaled A5/1 workload: {} unknown state bits, {}-bit keystream, N = {}",
+        "Scaled A5/1 workload: {} unknown state bits, {}-bit keystream, N = {}, {} backend",
         workload.unknown_bits(),
         workload.keystream_len,
-        workload.sample_size
+        workload.sample_size,
+        workload.backend
     );
     let result = run_table1(&workload);
     println!("{}", result.table());

@@ -1,15 +1,19 @@
 //! Regenerates Table 2 of the paper on a scaled Bivium instance.
 
 use pdsat_experiments::table2::run_table2;
-use pdsat_experiments::ScaledWorkload;
+use pdsat_experiments::{backend_from_env, ScaledWorkload};
 
 fn main() {
-    let workload = ScaledWorkload::bivium();
+    let mut workload = ScaledWorkload::bivium();
+    if let Some(backend) = backend_from_env() {
+        workload.backend = backend;
+    }
     println!(
-        "Scaled Bivium workload: {} unknown state bits, {}-bit keystream, N = {}",
+        "Scaled Bivium workload: {} unknown state bits, {}-bit keystream, N = {}, {} backend",
         workload.unknown_bits(),
         workload.keystream_len,
-        workload.sample_size
+        workload.sample_size,
+        workload.backend
     );
     let result = run_table2(&workload);
     println!("{}", result.table());

@@ -2,10 +2,17 @@
 //! predicted vs. real family processing cost and time-to-SAT.
 
 use pdsat_distrib::ClusterConfig;
+use pdsat_experiments::backend_from_env;
 use pdsat_experiments::table3::{default_table3_problems, run_table3};
 
 fn main() {
-    let problems = default_table3_problems();
+    let mut problems = default_table3_problems();
+    if let Some(backend) = backend_from_env() {
+        for problem in &mut problems {
+            problem.backend = backend;
+        }
+        println!("(estimation + solving mode on the {backend} backend)");
+    }
     let cluster = ClusterConfig {
         nodes: 1,
         cores_per_node: 16,

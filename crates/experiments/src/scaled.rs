@@ -10,7 +10,9 @@
 
 use pdsat_ciphers::{Bivium, Grain, Instance, InstanceBuilder, StreamCipher, A51};
 use pdsat_cnf::Var;
-use pdsat_core::{CostMetric, DecompositionSet, Evaluator, EvaluatorConfig, SearchSpace};
+use pdsat_core::{
+    BackendKind, CostMetric, DecompositionSet, Evaluator, EvaluatorConfig, SearchSpace,
+};
 use pdsat_solver::SolverConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,6 +91,19 @@ pub struct ScaledWorkload {
     pub num_workers: usize,
     /// Base seed for instance generation, sampling and search.
     pub seed: u64,
+    /// Which `CubeOracle` backend the estimator's sub-problems run on.
+    /// Fresh by default (identically distributed observations, as the Monte
+    /// Carlo argument assumes); override with `PDSAT_BACKEND=warm` through
+    /// [`backend_from_env`] in the experiment binaries.
+    pub backend: BackendKind,
+}
+
+/// Reads a [`BackendKind`] override from the `PDSAT_BACKEND` environment
+/// variable (`fresh` or `warm`). Unset or unparsable values mean "keep the
+/// workload's default".
+#[must_use]
+pub fn backend_from_env() -> Option<BackendKind> {
+    std::env::var("PDSAT_BACKEND").ok()?.parse().ok()
 }
 
 impl ScaledWorkload {
@@ -105,6 +120,7 @@ impl ScaledWorkload {
             search_points: 25,
             num_workers: 4,
             seed: 20150703,
+            backend: BackendKind::Fresh,
         }
     }
 
@@ -119,6 +135,7 @@ impl ScaledWorkload {
             search_points: 25,
             num_workers: 4,
             seed: 20150704,
+            backend: BackendKind::Fresh,
         }
     }
 
@@ -133,6 +150,7 @@ impl ScaledWorkload {
             search_points: 25,
             num_workers: 4,
             seed: 20150705,
+            backend: BackendKind::Fresh,
         }
     }
 
@@ -153,6 +171,7 @@ impl ScaledWorkload {
             search_points: 8,
             num_workers: 2,
             seed: 7,
+            backend: BackendKind::Fresh,
         }
     }
 
@@ -226,6 +245,7 @@ impl ScaledWorkload {
                 solver_config: SolverConfig::default(),
                 num_workers: self.num_workers,
                 seed: self.seed,
+                backend: self.backend,
                 ..EvaluatorConfig::default()
             },
         )

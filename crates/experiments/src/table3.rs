@@ -177,9 +177,10 @@ pub fn run_table3(
         let solve_config = SolveModeConfig {
             cost: workload.cost_metric(),
             num_workers: workload.num_workers,
-            // A fresh solver per cube keeps the real cost comparable with the
-            // estimate, which was also measured on fresh solvers.
-            reuse_solvers: false,
+            // The solving mode must measure costs on the same backend the
+            // estimate was computed with, or the deviation column would mix
+            // substrates; the workload default is the fresh backend.
+            backend: workload.backend,
             ..SolveModeConfig::default()
         };
         let mut instances = Vec::new();

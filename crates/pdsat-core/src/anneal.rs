@@ -116,7 +116,9 @@ impl SimulatedAnnealing {
                 return v;
             }
             let set = space.decomposition_set(point);
-            let value = evaluator.evaluate(&set).value();
+            // The memoized path also answers points another search sharing
+            // the same evaluator (e.g. a preceding tabu run) already paid for.
+            let value = evaluator.evaluate_memoized(&set).value();
             evaluated.insert(point.clone(), value);
             value
         };

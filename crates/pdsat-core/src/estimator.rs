@@ -17,22 +17,24 @@ pub struct SampleStats {
 impl SampleStats {
     /// Computes sample statistics. Returns `n = 0`, zero mean/variance for an
     /// empty slice.
+    ///
+    /// Uses Welford's single-pass update: the running mean and the centred
+    /// sum of squares `M₂` are maintained incrementally, so the variance is
+    /// numerically stable even for the large-`N`, large-magnitude samples of
+    /// the Table-2 experiments (a naive `Σζ² − N·mean²` formulation cancels
+    /// catastrophically there; the two-pass formula is stable but reads the
+    /// data twice).
     #[must_use]
     pub fn from_observations(values: &[f64]) -> SampleStats {
         let n = values.len();
-        if n == 0 {
-            return SampleStats {
-                n: 0,
-                mean: 0.0,
-                variance: 0.0,
-            };
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            let delta = v - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (v - mean);
         }
-        let mean = values.iter().sum::<f64>() / n as f64;
-        let variance = if n > 1 {
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
-        } else {
-            0.0
-        };
+        let variance = if n > 1 { m2 / (n - 1) as f64 } else { 0.0 };
         SampleStats { n, mean, variance }
     }
 
@@ -244,6 +246,51 @@ mod tests {
         let constant = SampleStats::from_observations(&[3.0; 10]);
         assert_eq!(constant.variance, 0.0);
         assert_eq!(constant.confidence_half_width(0.95), 0.0);
+    }
+
+    /// The naive two-pass reference: exact mean, then centred squares.
+    fn two_pass(values: &[f64]) -> (f64, f64) {
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        (mean, variance)
+    }
+
+    #[test]
+    fn welford_matches_the_two_pass_reference() {
+        // A deterministic pseudo-random sample (LCG) with a huge common
+        // offset: the regime where one-pass Σζ² formulations lose all digits.
+        // Welford must agree with the stable two-pass computation to high
+        // relative precision.
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut samples = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let noise = (x >> 11) as f64 / (1u64 << 53) as f64; // in [0,1)
+            samples.push(1.0e9 + noise);
+        }
+        let stats = SampleStats::from_observations(&samples);
+        let (mean, variance) = two_pass(&samples);
+        assert_eq!(stats.n, samples.len());
+        assert!((stats.mean - mean).abs() / mean < 1e-12);
+        assert!(variance > 0.0);
+        // Both computations carry the ~1e-7 representation error of storing
+        // 1e9 + noise in an f64; they must agree to well within that.
+        assert!(
+            (stats.variance - variance).abs() / variance < 1e-5,
+            "welford {} vs two-pass {}",
+            stats.variance,
+            variance
+        );
+        // Sanity: the variance of uniform noise on [0,1) is ~1/12 regardless
+        // of the 1e9 offset.
+        assert!((stats.variance - 1.0 / 12.0).abs() < 0.01);
     }
 
     #[test]

@@ -19,15 +19,27 @@
 //!    [`SearchSpace`] — normally `2^{X̃_start}` where `X̃_start` is the Strong
 //!    UP-backdoor set of state variables.
 //! 4. **Solving mode.** [`solve_family`] processes the whole family of the
-//!    best set found (on a thread-pool stand-in for PDSAT's MPI workers), and
-//!    [`ParallelSystem`] extrapolates sequential estimates to a cluster.
+//!    best set found, and [`ParallelSystem`] extrapolates sequential
+//!    estimates to a cluster.
+//!
+//! All three solve paths — the [`Evaluator`], [`solve_family`] /
+//! [`solve_cubes`] and ad-hoc batches — route through one [`CubeOracle`]:
+//! an executor owning the worker pool (the stand-in for PDSAT's MPI
+//! leader/computing processes), per-cube budgets, interrupt fan-out,
+//! aggregated solver-statistics deltas and a memoizing point cache. The unit
+//! of work it schedules is an exchangeable [`CubeBackend`]:
+//! [`BackendKind::Fresh`] builds a solver per cube (order-independent
+//! observations, what the Monte Carlo argument assumes), while
+//! [`BackendKind::Warm`] keeps one incremental solver per worker whose learnt
+//! clauses and VSIDS state carry over across the whole family.
 //!
 //! # Quick start
 //!
 //! ```
-//! use pdsat_cnf::{Cnf, Lit, Var};
+//! use pdsat_cnf::{Cnf, Cube, Lit, Var};
 //! use pdsat_core::{
-//!     CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace, TabuConfig, TabuSearch,
+//!     BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet, Evaluator,
+//!     EvaluatorConfig, SearchLimits, SearchSpace, TabuConfig, TabuSearch,
 //! };
 //!
 //! // A toy unsatisfiable formula (pigeonhole 4→3).
@@ -45,7 +57,23 @@
 //!     }
 //! }
 //!
-//! // Search for a good decomposition set over the first 6 variables.
+//! // Solve one decomposition family directly through the oracle, with a warm
+//! // (persistent incremental) solver per worker.
+//! let family = DecompositionSet::new((0..4).map(Var::new));
+//! let cubes: Vec<Cube> = family.cubes().collect();
+//! let mut oracle = CubeOracle::new(
+//!     &cnf,
+//!     BatchConfig {
+//!         cost: CostMetric::Conflicts,
+//!         backend: BackendKind::Warm,
+//!         ..BatchConfig::default()
+//!     },
+//! );
+//! let batch = oracle.solve_batch(&cubes, None);
+//! assert_eq!(batch.verdict_counts(), (0, 16, 0)); // all 2^4 cubes UNSAT
+//!
+//! // Search for a good decomposition set over the first 6 variables; the
+//! // evaluator is an oracle client and memoizes revisited points.
 //! let space = SearchSpace::new((0..6).map(Var::new));
 //! let mut evaluator = Evaluator::new(
 //!     &cnf,
@@ -67,8 +95,9 @@ mod cost;
 mod decomposition;
 mod estimator;
 mod extrapolate;
+mod oracle;
 mod predict;
-mod runner;
+pub mod runner;
 mod search;
 mod solve_mode;
 mod space;
@@ -79,8 +108,13 @@ pub use cost::CostMetric;
 pub use decomposition::{CubeIter, DecompositionSet};
 pub use estimator::{normal_cdf, normal_quantile, PredictiveEstimate, SampleStats};
 pub use extrapolate::ParallelSystem;
+pub use oracle::{
+    BackendKind, BackendOutcome, BatchConfig, BatchResult, CubeBackend, CubeOracle, CubeOutcome,
+    FreshBackend, PointCache, VerdictSummary, WarmBackend,
+};
 pub use predict::{Evaluator, EvaluatorConfig, PointEvaluation, SampleVerdicts};
-pub use runner::{solve_cube_batch, BatchConfig, BatchResult, CubeOutcome, VerdictSummary};
+#[allow(deprecated)]
+pub use runner::solve_cube_batch;
 pub use search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
 pub use solve_mode::{solve_cubes, solve_family, SolveModeConfig, SolveReport};
 pub use space::{Point, SearchSpace};

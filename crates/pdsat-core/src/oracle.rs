@@ -1,0 +1,591 @@
+//! The `CubeOracle`: the single entry point through which every sub-problem
+//! of the reproduction is solved.
+//!
+//! Every quantity the paper measures — the predictive function `F(χ)`, the
+//! annealing/tabu point traversal, solving mode — is a multiple of one unit
+//! of work: *solve `C[X̃/α]` under the cube's assumptions*. PDSAT realizes
+//! that unit as an MPI worker running a modified MiniSat; this module
+//! realizes it as an exchangeable [`CubeBackend`] driven by an executor that
+//! owns the worker pool (scoped threads over an atomic work queue), applies
+//! per-cube [`Budget`]s, fans an [`InterruptFlag`] out to every worker,
+//! aggregates exact [`SolverStats`] deltas, and memoizes completed point
+//! evaluations in a [`PointCache`] so revisited decomposition points are
+//! never paid for twice.
+//!
+//! The [`Evaluator`](crate::Evaluator), [`solve_family`](crate::solve_family)
+//! / [`solve_cubes`](crate::solve_cubes) and the deprecated
+//! [`solve_cube_batch`](crate::runner::solve_cube_batch) shim all route
+//! through here; backend selection threads through their configs as a
+//! [`BackendKind`].
+
+mod backend;
+mod cache;
+
+pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBackend};
+pub use cache::PointCache;
+
+use crate::CostMetric;
+use pdsat_cnf::{Assignment, Cnf, Cube};
+use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats, Verdict};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Summary verdict of one sub-problem (the model, if any, travels separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerdictSummary {
+    /// The sub-problem is satisfiable.
+    Sat,
+    /// The sub-problem is unsatisfiable.
+    Unsat,
+    /// The sub-problem was not decided (budget exhausted or interrupted).
+    Unknown,
+}
+
+/// Result of solving one cube of a batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CubeOutcome {
+    /// Index of the cube in the submitted batch.
+    pub index: usize,
+    /// Measured cost under the configured [`CostMetric`].
+    pub cost: f64,
+    /// Verdict of the sub-problem.
+    pub verdict: VerdictSummary,
+    /// Number of conflicts spent on the sub-problem.
+    pub conflicts: u64,
+    /// A model of `C ∧ cube`, when the sub-problem was satisfiable and model
+    /// collection was enabled.
+    pub model: Option<Assignment>,
+}
+
+/// Result of processing a whole batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-cube outcomes, sorted by cube index.
+    pub outcomes: Vec<CubeOutcome>,
+    /// Per-variable conflict participation, summed over all sub-problems of
+    /// the batch (used as the "conflict activity" of the tabu heuristic).
+    pub var_conflict_totals: Vec<u64>,
+    /// Solver-statistics deltas summed over all sub-problems of the batch.
+    pub solver_stats: SolverStats,
+    /// Wall-clock time of the whole batch (with however many workers ran).
+    pub wall_time: Duration,
+}
+
+impl BatchResult {
+    /// Costs in cube-index order, borrowed from the outcomes (no allocation).
+    pub fn costs(&self) -> impl Iterator<Item = f64> + '_ {
+        self.outcomes.iter().map(|o| o.cost)
+    }
+
+    /// First satisfiable outcome (lowest cube index), if any.
+    #[must_use]
+    pub fn first_sat(&self) -> Option<&CubeOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.verdict == VerdictSummary::Sat)
+    }
+
+    /// Counts of (sat, unsat, unknown) outcomes.
+    #[must_use]
+    pub fn verdict_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for o in &self.outcomes {
+            match o.verdict {
+                VerdictSummary::Sat => counts.0 += 1,
+                VerdictSummary::Unsat => counts.1 += 1,
+                VerdictSummary::Unknown => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Configuration of a [`CubeOracle`] (formerly of one batch run; the name is
+/// kept because the config applies to every batch the oracle processes).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Solver configuration used for every sub-problem.
+    pub solver_config: SolverConfig,
+    /// Per-sub-problem resource budget.
+    pub budget: Budget,
+    /// Cost metric recorded per sub-problem.
+    pub cost: CostMetric,
+    /// Number of worker threads (values 0 and 1 both mean "run on the calling
+    /// thread").
+    pub num_workers: usize,
+    /// Whether to keep models of satisfiable sub-problems.
+    pub collect_models: bool,
+    /// Raise the shared interrupt flag as soon as one sub-problem is found
+    /// satisfiable (used when only the answer, not the full family cost,
+    /// matters).
+    pub stop_on_sat: bool,
+    /// Which [`CubeBackend`] each worker runs (see [`BackendKind`] for the
+    /// fresh-vs-warm trade-off).
+    pub backend: BackendKind,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            solver_config: SolverConfig::default(),
+            budget: Budget::unlimited(),
+            cost: CostMetric::default(),
+            num_workers: 1,
+            collect_models: true,
+            stop_on_sat: false,
+            backend: BackendKind::Fresh,
+        }
+    }
+}
+
+/// The executor that owns the formula, the worker pool and the point cache,
+/// and processes batches of cubes through the configured backend.
+///
+/// # Example
+///
+/// ```
+/// use pdsat_cnf::{Cnf, Cube, Lit, Var};
+/// use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet};
+///
+/// let mut cnf = Cnf::new(3);
+/// cnf.add_clause([Lit::negative(Var::new(0)), Lit::positive(Var::new(1))]);
+/// let set = DecompositionSet::new([Var::new(0), Var::new(2)]);
+/// let cubes: Vec<Cube> = set.cubes().collect();
+///
+/// let mut oracle = CubeOracle::new(
+///     &cnf,
+///     BatchConfig {
+///         cost: CostMetric::Propagations,
+///         backend: BackendKind::Warm,
+///         ..BatchConfig::default()
+///     },
+/// );
+/// let batch = oracle.solve_batch(&cubes, None);
+/// let (sat, unsat, unknown) = batch.verdict_counts();
+/// assert_eq!((sat, unsat, unknown), (4, 0, 0));
+/// assert_eq!(oracle.cubes_solved(), 4);
+/// ```
+#[derive(Debug)]
+pub struct CubeOracle<'a> {
+    cnf: Cow<'a, Cnf>,
+    config: BatchConfig,
+    total_stats: SolverStats,
+    batches: u64,
+    cubes_solved: u64,
+    point_cache: PointCache,
+}
+
+impl<'a> CubeOracle<'a> {
+    /// Creates a self-contained oracle over a copy of `cnf` (the form the
+    /// long-lived [`Evaluator`](crate::Evaluator) holds).
+    #[must_use]
+    pub fn new(cnf: &Cnf, config: BatchConfig) -> CubeOracle<'static> {
+        CubeOracle::from_cow(Cow::Owned(cnf.clone()), config)
+    }
+
+    /// Creates an oracle that borrows `cnf` without copying it — the right
+    /// form for one-shot batches ([`solve_family`](crate::solve_family) and
+    /// the deprecated shim), where a clone of the formula per call would
+    /// dominate warm-backend family times.
+    #[must_use]
+    pub fn borrowed(cnf: &'a Cnf, config: BatchConfig) -> CubeOracle<'a> {
+        CubeOracle::from_cow(Cow::Borrowed(cnf), config)
+    }
+
+    fn from_cow(cnf: Cow<'a, Cnf>, config: BatchConfig) -> CubeOracle<'a> {
+        CubeOracle {
+            cnf,
+            config,
+            total_stats: SolverStats::default(),
+            batches: 0,
+            cubes_solved: 0,
+            point_cache: PointCache::new(),
+        }
+    }
+
+    /// The formula every sub-problem restricts.
+    #[must_use]
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The configuration applied to every batch.
+    #[must_use]
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Solver-statistics deltas aggregated over every cube this oracle has
+    /// solved.
+    #[must_use]
+    pub fn total_stats(&self) -> &SolverStats {
+        &self.total_stats
+    }
+
+    /// Number of batches processed.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Number of sub-problems solved.
+    #[must_use]
+    pub fn cubes_solved(&self) -> u64 {
+        self.cubes_solved
+    }
+
+    /// The memoized point evaluations (read-only).
+    #[must_use]
+    pub fn point_cache(&self) -> &PointCache {
+        &self.point_cache
+    }
+
+    /// The memoized point evaluations (for lookups and inserts).
+    pub fn point_cache_mut(&mut self) -> &mut PointCache {
+        &mut self.point_cache
+    }
+
+    /// Processes a batch of cubes (sub-problems of one decomposition family).
+    ///
+    /// With `num_workers <= 1` the batch runs sequentially on the calling
+    /// thread; otherwise a [`std::thread::scope`] spawns worker threads, each
+    /// owning one backend instance, that claim cubes from a shared atomic
+    /// queue. Either way the outcomes are returned in cube order.
+    ///
+    /// The optional `external_interrupt` lets a caller abandon the whole
+    /// batch — the equivalent of PDSAT's leader abandoning a search-space
+    /// point.
+    #[must_use]
+    pub fn solve_batch(
+        &mut self,
+        cubes: &[Cube],
+        external_interrupt: Option<&InterruptFlag>,
+    ) -> BatchResult {
+        let start = Instant::now();
+        let interrupt = external_interrupt.cloned().unwrap_or_default();
+        let num_vars = self.cnf.num_vars();
+        let config = &self.config;
+        let cnf = &self.cnf;
+        let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(cubes.len());
+        let mut totals = vec![0u64; num_vars];
+        let mut stats = SolverStats::default();
+
+        if config.num_workers <= 1 {
+            let mut backend = config.backend.build(cnf, &config.solver_config);
+            for (index, cube) in cubes.iter().enumerate() {
+                if config.stop_on_sat && interrupt.is_raised() {
+                    break;
+                }
+                let raw = backend.solve(cube, &config.budget, &interrupt);
+                let (outcome, counts, delta) = finish_outcome(index, raw, config);
+                accumulate(&mut totals, &counts);
+                stats.absorb(&delta);
+                if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
+                    interrupt.raise();
+                }
+                outcomes.push(outcome);
+            }
+        } else {
+            let next_job = AtomicUsize::new(0);
+            type WorkerReport = (CubeOutcome, Vec<u64>, SolverStats);
+            let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
+
+            std::thread::scope(|scope| {
+                for _ in 0..config.num_workers {
+                    let next_job = &next_job;
+                    let result_tx = result_tx.clone();
+                    let interrupt = interrupt.clone();
+                    scope.spawn(move || {
+                        let mut backend = config.backend.build(cnf, &config.solver_config);
+                        loop {
+                            let index = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some(cube) = cubes.get(index) else {
+                                break;
+                            };
+                            if config.stop_on_sat && interrupt.is_raised() {
+                                // Abandon the remaining cubes quickly.
+                                continue;
+                            }
+                            let raw = backend.solve(cube, &config.budget, &interrupt);
+                            let report = finish_outcome(index, raw, config);
+                            if config.stop_on_sat && report.0.verdict == VerdictSummary::Sat {
+                                interrupt.raise();
+                            }
+                            if result_tx.send(report).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(result_tx);
+                while let Ok((outcome, counts, delta)) = result_rx.recv() {
+                    accumulate(&mut totals, &counts);
+                    stats.absorb(&delta);
+                    outcomes.push(outcome);
+                }
+            });
+        }
+
+        outcomes.sort_by_key(|o| o.index);
+        self.batches += 1;
+        self.cubes_solved += outcomes.len() as u64;
+        self.total_stats.absorb(&stats);
+        BatchResult {
+            outcomes,
+            var_conflict_totals: totals,
+            solver_stats: stats,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+/// Turns a backend's raw report into the executor-level outcome: measures the
+/// cost, summarizes the verdict and applies the model-collection policy.
+fn finish_outcome(
+    index: usize,
+    raw: BackendOutcome,
+    config: &BatchConfig,
+) -> (CubeOutcome, Vec<u64>, SolverStats) {
+    let cost = config.cost.measure(&raw.stats_delta, raw.elapsed);
+    let (summary, model) = match raw.verdict {
+        Verdict::Sat(m) => (VerdictSummary::Sat, config.collect_models.then_some(m)),
+        Verdict::Unsat => (VerdictSummary::Unsat, None),
+        Verdict::Unknown(_) => (VerdictSummary::Unknown, None),
+    };
+    let outcome = CubeOutcome {
+        index,
+        cost,
+        verdict: summary,
+        conflicts: raw.stats_delta.conflicts,
+        model,
+    };
+    (outcome, raw.conflict_delta, raw.stats_delta)
+}
+
+fn accumulate(totals: &mut [u64], counts: &[u64]) {
+    for (t, &c) in totals.iter_mut().zip(counts) {
+        *t += c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecompositionSet;
+    use pdsat_cnf::{Lit, Var};
+    use rand::SeedableRng;
+
+    /// A small unsatisfiable pigeonhole formula (p pigeons, p-1 holes).
+    fn pigeonhole(pigeons: usize) -> Cnf {
+        let holes = pigeons - 1;
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn sat_chain(n: usize) -> Cnf {
+        // x1 → x2 → … → xn, satisfiable.
+        let mut cnf = Cnf::new(n);
+        for i in 0..n - 1 {
+            cnf.add_clause([
+                Lit::negative(Var::new(i as u32)),
+                Lit::positive(Var::new(i as u32 + 1)),
+            ]);
+        }
+        cnf
+    }
+
+    fn batch(cnf: &Cnf, cubes: &[Cube], config: &BatchConfig) -> BatchResult {
+        CubeOracle::new(cnf, config.clone()).solve_batch(cubes, None)
+    }
+
+    #[test]
+    fn sequential_batch_covers_all_cubes() {
+        let cnf = sat_chain(6);
+        let set = DecompositionSet::new([Var::new(0), Var::new(1)]);
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let config = BatchConfig {
+            cost: CostMetric::Propagations,
+            ..BatchConfig::default()
+        };
+        let result = batch(&cnf, &cubes, &config);
+        assert_eq!(result.outcomes.len(), 4);
+        let (sat, unsat, unknown) = result.verdict_counts();
+        // The implication chain x1→x2 makes exactly the cube (x1=1, x2=0)
+        // unsatisfiable; the other three cubes extend to models.
+        assert_eq!(sat, 3);
+        assert_eq!(unsat, 1);
+        assert_eq!(unknown, 0);
+        assert!(result.first_sat().is_some());
+        assert_eq!(result.costs().count(), 4);
+        // Outcomes are in cube order.
+        for (i, o) in result.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+        }
+        // The batch-level stats aggregate matches the per-cube cost sum for a
+        // counter metric.
+        let cost_sum: f64 = result.costs().sum();
+        assert_eq!(cost_sum, result.solver_stats.propagations as f64);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_verdicts() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new((0..3).map(Var::new));
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let seq_config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            num_workers: 1,
+            ..BatchConfig::default()
+        };
+        let par_config = BatchConfig {
+            num_workers: 4,
+            ..seq_config.clone()
+        };
+        let seq = batch(&cnf, &cubes, &seq_config);
+        let par = batch(&cnf, &cubes, &par_config);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.verdict, b.verdict);
+            // Deterministic metric: identical costs regardless of scheduling.
+            assert_eq!(a.cost, b.cost);
+        }
+        assert_eq!(seq.var_conflict_totals, par.var_conflict_totals);
+        assert_eq!(seq.solver_stats.conflicts, par.solver_stats.conflicts);
+        assert_eq!(seq.solver_stats.propagations, par.solver_stats.propagations);
+    }
+
+    #[test]
+    fn unsat_formula_has_no_sat_cube() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new([Var::new(0), Var::new(5)]);
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let result = batch(&cnf, &cubes, &BatchConfig::default());
+        assert!(result.first_sat().is_none());
+        let (sat, unsat, _) = result.verdict_counts();
+        assert_eq!(sat, 0);
+        assert_eq!(unsat, 4);
+        assert!(result.var_conflict_totals.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn stop_on_sat_raises_interrupt() {
+        let cnf = sat_chain(4);
+        let set = DecompositionSet::new([Var::new(0)]);
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let config = BatchConfig {
+            stop_on_sat: true,
+            ..BatchConfig::default()
+        };
+        let flag = InterruptFlag::new();
+        let result = CubeOracle::new(&cnf, config).solve_batch(&cubes, Some(&flag));
+        assert!(flag.is_raised());
+        assert!(!result.outcomes.is_empty());
+        assert!(result.first_sat().is_some());
+    }
+
+    #[test]
+    fn models_are_collected_and_extend_cubes() {
+        let cnf = sat_chain(5);
+        let set = DecompositionSet::new([Var::new(2)]);
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let result = batch(&cnf, &cubes, &BatchConfig::default());
+        for outcome in &result.outcomes {
+            let model = outcome.model.as_ref().expect("models are collected");
+            assert!(cnf.is_satisfied_by(model));
+            let cube = &cubes[outcome.index];
+            for &l in cube.lits() {
+                assert_eq!(model.lit_value(l).to_bool(), Some(true));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_as_unknown() {
+        let cnf = pigeonhole(7);
+        let set = DecompositionSet::new([Var::new(0)]);
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let config = BatchConfig {
+            budget: Budget::unlimited().with_conflict_limit(1),
+            ..BatchConfig::default()
+        };
+        let result = batch(&cnf, &cubes, &config);
+        let (_, _, unknown) = result.verdict_counts();
+        assert_eq!(unknown, 2);
+    }
+
+    #[test]
+    fn warm_backend_agrees_on_verdicts_with_fresh_backend() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let fresh_config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            ..BatchConfig::default()
+        };
+        let warm_config = BatchConfig {
+            backend: BackendKind::Warm,
+            ..fresh_config.clone()
+        };
+        let fresh = batch(&cnf, &cubes, &fresh_config);
+        let warm = batch(&cnf, &cubes, &warm_config);
+        for (a, b) in fresh.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(
+                a.verdict, b.verdict,
+                "verdicts must agree for cube {}",
+                a.index
+            );
+        }
+        // Learnt clauses carried across cubes make the warm run cheaper in
+        // total (or at worst equal).
+        let fresh_total: f64 = fresh.costs().sum();
+        let warm_total: f64 = warm.costs().sum();
+        assert!(warm_total <= fresh_total + 1e-9);
+    }
+
+    #[test]
+    fn random_sample_batch_is_reproducible_with_deterministic_metric() {
+        let cnf = pigeonhole(5);
+        let set = DecompositionSet::new((0..4).map(Var::new));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cubes = set.random_sample(10, &mut rng);
+        let config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            num_workers: 3,
+            ..BatchConfig::default()
+        };
+        let a = batch(&cnf, &cubes, &config);
+        let b = batch(&cnf, &cubes, &config);
+        assert!(a.costs().eq(b.costs()));
+    }
+
+    #[test]
+    fn oracle_counters_accumulate_across_batches() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new((0..2).map(Var::new));
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let mut oracle = CubeOracle::new(&cnf, BatchConfig::default());
+        let first = oracle.solve_batch(&cubes, None);
+        let second = oracle.solve_batch(&cubes, None);
+        assert_eq!(oracle.batches(), 2);
+        assert_eq!(oracle.cubes_solved(), 8);
+        assert_eq!(
+            oracle.total_stats().conflicts,
+            first.solver_stats.conflicts + second.solver_stats.conflicts
+        );
+    }
+}

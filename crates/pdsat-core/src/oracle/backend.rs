@@ -1,0 +1,262 @@
+//! Solving backends: the strategies a [`CubeOracle`](super::CubeOracle)
+//! worker can use to decide one sub-problem `C[X̃/α]`.
+//!
+//! A backend is the smallest exchangeable unit of the oracle: it receives a
+//! cube and must return a verdict plus an exact *delta* of solver statistics
+//! and per-variable conflict participation attributable to that cube. The
+//! executor never looks inside a backend — per-cube budgets, interrupt
+//! fan-out and cost measurement are applied uniformly on the outside — so new
+//! substrates (portfolio solvers, remote workers, …) plug in behind the same
+//! trait. The full behavioural contract lives in DESIGN.md ("CubeBackend
+//! contract").
+
+use pdsat_cnf::{Cnf, Cube};
+use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, SolverStats, Verdict};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Everything a backend reports about one solved cube.
+///
+/// `stats_delta` and `conflict_delta` must cover exactly the work performed
+/// for *this* cube: a fresh solver reports its whole lifetime, a warm solver
+/// reports the difference since the previous cube. The oracle turns the delta
+/// into a [`CostMetric`](crate::CostMetric) observation and aggregates it.
+#[derive(Debug, Clone)]
+pub struct BackendOutcome {
+    /// Verdict of `C ∧ cube` (the model travels inside [`Verdict::Sat`]).
+    pub verdict: Verdict,
+    /// Solver-statistics delta attributable to this cube.
+    pub stats_delta: SolverStats,
+    /// Per-variable conflict-participation delta attributable to this cube
+    /// (indexed by variable; used as the tabu heuristic's activity signal).
+    pub conflict_delta: Vec<u64>,
+    /// Wall-clock time of the call, including any per-cube setup the backend
+    /// performs (a fresh backend counts loading the clause database, exactly
+    /// as in the paper where every sub-problem is a complete MiniSat run).
+    pub elapsed: Duration,
+}
+
+/// A strategy for solving the sub-problems of a decomposition family.
+///
+/// One backend instance is owned by one worker thread and fed cubes
+/// sequentially; implementations therefore never need internal locking.
+pub trait CubeBackend {
+    /// Solves `C ∧ cube` under the given budget and interrupt flag.
+    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome;
+
+    /// Which substrate this backend is an instance of.
+    fn kind(&self) -> BackendKind;
+}
+
+/// Selects the backend a [`CubeOracle`](super::CubeOracle) builds for each of
+/// its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// A fresh [`Solver`] per cube. Every observation includes clause-database
+    /// loading and root propagation and is independent of cube order, which
+    /// is what the Monte Carlo argument of the paper assumes (identically
+    /// distributed `ζ_j`), so the estimator defaults to it.
+    #[default]
+    Fresh,
+    /// One persistent incremental [`Solver`] per worker: the CNF is loaded
+    /// once and learnt clauses, VSIDS activities and saved phases carry over
+    /// across all cubes the worker processes — like PDSAT's long-lived
+    /// MiniSat worker processes, minus their per-sub-problem CNF reload.
+    /// Much faster, but per-cube costs depend on processing order.
+    Warm,
+}
+
+impl BackendKind {
+    /// Lower-case name, used in bench ids and CLI/env selection.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Fresh => "fresh",
+            BackendKind::Warm => "warm",
+        }
+    }
+
+    /// Builds one backend instance over `cnf` (one per worker thread).
+    #[must_use]
+    pub fn build<'a>(self, cnf: &'a Cnf, config: &SolverConfig) -> Box<dyn CubeBackend + 'a> {
+        match self {
+            BackendKind::Fresh => Box::new(FreshBackend::new(cnf, config.clone())),
+            BackendKind::Warm => Box::new(WarmBackend::new(cnf, config.clone())),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BackendKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fresh" => Ok(BackendKind::Fresh),
+            "warm" | "reuse" | "reused" => Ok(BackendKind::Warm),
+            other => Err(format!("unknown backend '{other}' (expected fresh|warm)")),
+        }
+    }
+}
+
+/// The fresh-solver backend: builds a new [`Solver`] for every cube.
+pub struct FreshBackend<'a> {
+    cnf: &'a Cnf,
+    config: SolverConfig,
+}
+
+impl<'a> FreshBackend<'a> {
+    /// Creates the backend over `cnf`.
+    #[must_use]
+    pub fn new(cnf: &'a Cnf, config: SolverConfig) -> FreshBackend<'a> {
+        FreshBackend { cnf, config }
+    }
+}
+
+impl CubeBackend for FreshBackend<'_> {
+    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome {
+        // The timer starts before the solver is built: loading the clause
+        // database is part of a fresh sub-problem's cost, as in the paper.
+        let start = Instant::now();
+        let mut solver = Solver::from_cnf_with_config(self.cnf, self.config.clone());
+        let verdict = solver.solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
+        let elapsed = start.elapsed();
+        BackendOutcome {
+            verdict,
+            stats_delta: *solver.stats(),
+            conflict_delta: solver.conflict_counts().to_vec(),
+            elapsed,
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Fresh
+    }
+}
+
+/// The warm-solver backend: one persistent incremental [`Solver`] that keeps
+/// its learnt clauses and heuristic state across cubes.
+pub struct WarmBackend {
+    solver: Solver,
+    /// Per-variable conflict participation already attributed to earlier
+    /// cubes (the solver's counters are cumulative).
+    attributed: Vec<u64>,
+}
+
+impl WarmBackend {
+    /// Creates the backend, loading `cnf` into the persistent solver once.
+    #[must_use]
+    pub fn new(cnf: &Cnf, config: SolverConfig) -> WarmBackend {
+        WarmBackend {
+            solver: Solver::from_cnf_with_config(cnf, config),
+            attributed: vec![0; cnf.num_vars()],
+        }
+    }
+
+    /// The persistent solver (e.g. to inspect carried-over learnt clauses).
+    #[must_use]
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+}
+
+impl CubeBackend for WarmBackend {
+    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome {
+        let start = Instant::now();
+        let before = *self.solver.stats();
+        let verdict = self
+            .solver
+            .solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
+        let elapsed = start.elapsed();
+        let stats_delta = self.solver.stats().delta_since(&before);
+        // Attribute only the *new* conflict participation to this cube.
+        let current = self.solver.conflict_counts();
+        let conflict_delta: Vec<u64> = current
+            .iter()
+            .zip(self.attributed.iter().chain(std::iter::repeat(&0)))
+            .map(|(&now, &prev)| now - prev)
+            .collect();
+        self.attributed = current.to_vec();
+        BackendOutcome {
+            verdict,
+            stats_delta,
+            conflict_delta,
+            elapsed,
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Warm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::{Lit, Var};
+
+    fn chain(n: usize) -> Cnf {
+        let mut cnf = Cnf::new(n);
+        for i in 0..n - 1 {
+            cnf.add_clause([
+                Lit::negative(Var::new(i as u32)),
+                Lit::positive(Var::new(i as u32 + 1)),
+            ]);
+        }
+        cnf
+    }
+
+    #[test]
+    fn backend_kind_parsing_and_names() {
+        assert_eq!("fresh".parse::<BackendKind>().unwrap(), BackendKind::Fresh);
+        assert_eq!("WARM".parse::<BackendKind>().unwrap(), BackendKind::Warm);
+        assert_eq!("reuse".parse::<BackendKind>().unwrap(), BackendKind::Warm);
+        assert!("mpi".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Fresh.to_string(), "fresh");
+        assert_eq!(BackendKind::default(), BackendKind::Fresh);
+    }
+
+    #[test]
+    fn fresh_backend_reports_lifetime_deltas() {
+        let cnf = chain(4);
+        let mut backend = FreshBackend::new(&cnf, SolverConfig::default());
+        assert_eq!(backend.kind(), BackendKind::Fresh);
+        let cube = Cube::from_values(&[Var::new(0)], &[true]);
+        let interrupt = InterruptFlag::new();
+        let out = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+        assert!(out.verdict.is_sat());
+        assert!(out.stats_delta.propagations > 0);
+        // A second identical call sees an identical fresh solver.
+        let again = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+        assert_eq!(out.stats_delta.propagations, again.stats_delta.propagations);
+        assert_eq!(out.stats_delta.conflicts, again.stats_delta.conflicts);
+    }
+
+    #[test]
+    fn warm_backend_deltas_are_per_cube_not_cumulative() {
+        let cnf = chain(5);
+        let mut backend = WarmBackend::new(&cnf, SolverConfig::default());
+        assert_eq!(backend.kind(), BackendKind::Warm);
+        let interrupt = InterruptFlag::new();
+        let set = [Var::new(0), Var::new(4)];
+        let mut total_props = 0;
+        for bits in 0..4u64 {
+            let cube = Cube::from_bits(&set, bits);
+            let out = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+            // Deltas stay cube-sized even though the solver's own counters
+            // keep growing across the calls.
+            assert!(out.stats_delta.propagations <= backend.solver().stats().propagations);
+            total_props += out.stats_delta.propagations;
+        }
+        // The per-cube deltas add up to the solver's cumulative counters.
+        assert_eq!(total_props, backend.solver().stats().propagations);
+        let attributed: u64 = backend.attributed.iter().sum();
+        let cumulative: u64 = backend.solver().conflict_counts().iter().sum();
+        assert_eq!(attributed, cumulative);
+    }
+}

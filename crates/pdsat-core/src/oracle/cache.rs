@@ -1,0 +1,80 @@
+//! Memoization of evaluated decomposition points.
+//!
+//! Each evaluation of the predictive function costs `N` complete sub-problem
+//! solves, so revisiting a point of the search space — a different
+//! metaheuristic run over the same instance, a restart, or the comparison
+//! tables that score the same reference set several times — should never pay
+//! twice. The [`CubeOracle`](super::CubeOracle) owns one [`PointCache`] whose
+//! lifetime spans every search that shares the oracle.
+
+use crate::predict::PointEvaluation;
+use pdsat_cnf::Var;
+use std::collections::HashMap;
+
+/// Cache of completed point evaluations, keyed by the (canonically sorted)
+/// variables of the decomposition set.
+#[derive(Debug, Default)]
+pub struct PointCache {
+    map: HashMap<Vec<Var>, PointEvaluation>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PointCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> PointCache {
+        PointCache::default()
+    }
+
+    /// Looks up the evaluation memoized for `vars` (the sorted variable list
+    /// of a [`DecompositionSet`](crate::DecompositionSet)), recording a hit
+    /// or miss.
+    pub fn lookup(&mut self, vars: &[Var]) -> Option<&PointEvaluation> {
+        match self.map.get(vars) {
+            Some(eval) => {
+                self.hits += 1;
+                Some(eval)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes an evaluation. A later evaluation of the same point replaces
+    /// the stored one (callers re-evaluate only deliberately).
+    pub fn store(&mut self, vars: Vec<Var>, evaluation: PointEvaluation) {
+        self.map.insert(vars, evaluation);
+    }
+
+    /// Number of memoized points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that fell through to a real evaluation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every memoized point (e.g. after the formula changed).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}

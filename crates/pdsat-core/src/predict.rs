@@ -1,7 +1,7 @@
 //! The predictive function `F_{C,A}(X̃)` (eq. (5) of the paper) and its
 //! evaluator.
 
-use crate::runner::{solve_cube_batch, BatchConfig, VerdictSummary};
+use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
 use crate::{CostMetric, DecompositionSet, PredictiveEstimate};
 use pdsat_cnf::{Assignment, Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
@@ -28,12 +28,13 @@ pub struct EvaluatorConfig {
     /// Base random seed; together with the evaluation counter it determines
     /// the random sample drawn for each point.
     pub seed: u64,
-    /// Reuse one incremental solver per worker. Off by default: a fresh
-    /// solver per sampled cube keeps the observations `ζ_j` identically
-    /// distributed, which is what the Monte Carlo argument of the paper
-    /// assumes. Turning it on trades a small bias for a large speed-up (an
-    /// ablation in the benchmark suite quantifies the difference).
-    pub reuse_solvers: bool,
+    /// Which [`CubeBackend`](crate::CubeBackend) solves the sampled cubes.
+    /// [`BackendKind::Fresh`] by default: a fresh solver per sampled cube
+    /// keeps the observations `ζ_j` identically distributed, which is what
+    /// the Monte Carlo argument of the paper assumes.
+    /// [`BackendKind::Warm`] trades a small bias for a large speed-up (the
+    /// benchmark suite quantifies the difference).
+    pub backend: BackendKind,
 }
 
 impl Default for EvaluatorConfig {
@@ -45,7 +46,7 @@ impl Default for EvaluatorConfig {
             solver_config: SolverConfig::default(),
             num_workers: 1,
             seed: 0,
-            reuse_solvers: false,
+            backend: BackendKind::Fresh,
         }
     }
 }
@@ -90,9 +91,13 @@ impl PointEvaluation {
 
 /// Evaluator of the predictive function for a fixed SAT instance.
 ///
-/// The evaluator owns the formula and accumulates per-variable conflict
-/// activity over everything it solves; the tabu search uses that accumulated
-/// activity to pick new neighbourhood centres (§3 of the paper).
+/// The evaluator is a [`CubeOracle`] client: every sampled sub-problem goes
+/// through the oracle's worker pool and configured backend. It accumulates
+/// per-variable conflict activity over everything it solves (the tabu search
+/// uses that activity to pick new neighbourhood centres, §3 of the paper) and
+/// shares the oracle's memoizing point cache through
+/// [`evaluate_memoized`](Evaluator::evaluate_memoized), so independent
+/// searches over the same instance never re-pay for a revisited point.
 ///
 /// # Example
 ///
@@ -118,10 +123,9 @@ impl PointEvaluation {
 /// ```
 #[derive(Debug)]
 pub struct Evaluator {
-    cnf: Cnf,
+    oracle: CubeOracle<'static>,
     config: EvaluatorConfig,
     evaluations: u64,
-    cubes_solved: u64,
     conflict_activity: Vec<u64>,
     total_solve_wall: Duration,
 }
@@ -131,11 +135,19 @@ impl Evaluator {
     #[must_use]
     pub fn new(cnf: &Cnf, config: EvaluatorConfig) -> Evaluator {
         let num_vars = cnf.num_vars();
+        let batch_config = BatchConfig {
+            solver_config: config.solver_config.clone(),
+            budget: config.per_cube_budget.clone(),
+            cost: config.cost,
+            num_workers: config.num_workers,
+            collect_models: true,
+            stop_on_sat: false,
+            backend: config.backend,
+        };
         Evaluator {
-            cnf: cnf.clone(),
+            oracle: CubeOracle::new(cnf, batch_config),
             config,
             evaluations: 0,
-            cubes_solved: 0,
             conflict_activity: vec![0; num_vars],
             total_solve_wall: Duration::ZERO,
         }
@@ -144,7 +156,7 @@ impl Evaluator {
     /// The formula being analysed.
     #[must_use]
     pub fn cnf(&self) -> &Cnf {
-        &self.cnf
+        self.oracle.cnf()
     }
 
     /// The evaluator configuration.
@@ -153,16 +165,29 @@ impl Evaluator {
         &self.config
     }
 
-    /// Number of points evaluated so far.
+    /// The oracle every sampled sub-problem routes through.
+    #[must_use]
+    pub fn oracle(&self) -> &CubeOracle<'static> {
+        &self.oracle
+    }
+
+    /// Number of points actually evaluated so far (cache hits from
+    /// [`evaluate_memoized`](Evaluator::evaluate_memoized) do not count).
     #[must_use]
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
 
+    /// Number of point lookups answered from the memoized cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.oracle.point_cache().hits()
+    }
+
     /// Number of sub-problems solved so far.
     #[must_use]
     pub fn cubes_solved(&self) -> u64 {
-        self.cubes_solved
+        self.oracle.cubes_solved()
     }
 
     /// Total wall-clock time spent solving sub-problems.
@@ -203,6 +228,25 @@ impl Evaluator {
         self.evaluate_with_sample(set, &cubes, None)
     }
 
+    /// Evaluates `set` through the oracle's memoizing point cache: a point
+    /// that any search sharing this evaluator has already paid for is
+    /// answered instantly with the stored evaluation.
+    ///
+    /// The metaheuristics use this entry point. [`evaluate`](Self::evaluate)
+    /// and the exhaustive cross-check bypass the cache on purpose (they are
+    /// asked for a *fresh* measurement) and do not populate it, so sampled
+    /// and exhaustive values are never conflated.
+    pub fn evaluate_memoized(&mut self, set: &DecompositionSet) -> PointEvaluation {
+        if let Some(hit) = self.oracle.point_cache_mut().lookup(set.vars()) {
+            return hit.clone();
+        }
+        let evaluation = self.evaluate(set);
+        self.oracle
+            .point_cache_mut()
+            .store(set.vars().to_vec(), evaluation.clone());
+        evaluation
+    }
+
     /// Evaluates the predictive function at `set` on a caller-provided sample
     /// (used by tests, by the exhaustive cross-check of EXPERIMENTS.md and by
     /// ablations that reuse one sample across configurations).
@@ -212,16 +256,7 @@ impl Evaluator {
         cubes: &[Cube],
         interrupt: Option<&InterruptFlag>,
     ) -> PointEvaluation {
-        let batch_config = BatchConfig {
-            solver_config: self.config.solver_config.clone(),
-            budget: self.config.per_cube_budget.clone(),
-            cost: self.config.cost,
-            num_workers: self.config.num_workers,
-            collect_models: true,
-            stop_on_sat: false,
-            reuse_solvers: self.config.reuse_solvers,
-        };
-        let batch = solve_cube_batch(&self.cnf, cubes, &batch_config, interrupt);
+        let batch = self.oracle.solve_batch(cubes, interrupt);
 
         for (acc, &c) in self
             .conflict_activity
@@ -231,10 +266,9 @@ impl Evaluator {
             *acc += c;
         }
         self.evaluations += 1;
-        self.cubes_solved += batch.outcomes.len() as u64;
         self.total_solve_wall += batch.wall_time;
 
-        let observations = batch.costs();
+        let observations: Vec<f64> = batch.costs().collect();
         let estimate = PredictiveEstimate::from_observations(set.len(), &observations);
         let mut verdicts = SampleVerdicts::default();
         let mut model = None;
@@ -280,7 +314,7 @@ impl Evaluator {
         DecompositionSet::new(
             vars.iter()
                 .copied()
-                .filter(|v| v.index() < self.cnf.num_vars()),
+                .filter(|v| v.index() < self.cnf().num_vars()),
         )
     }
 }
@@ -360,6 +394,39 @@ mod tests {
             evaluator.activity_of_set(&set) <= evaluator.conflict_activity().iter().sum::<u64>()
         );
         assert!(evaluator.conflict_activity().iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn memoized_evaluation_pays_only_once_per_point() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new((0..3).map(Var::new));
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(8));
+        let first = evaluator.evaluate_memoized(&set);
+        let cubes_after_first = evaluator.cubes_solved();
+        let second = evaluator.evaluate_memoized(&set);
+        // The second call is a cache hit: no new evaluation, no new cubes,
+        // bit-identical result.
+        assert_eq!(evaluator.evaluations(), 1);
+        assert_eq!(evaluator.cubes_solved(), cubes_after_first);
+        assert_eq!(evaluator.cache_hits(), 1);
+        assert_eq!(first.value(), second.value());
+        assert_eq!(first.observations, second.observations);
+        // A different point is a miss and gets evaluated.
+        let other = DecompositionSet::new((0..2).map(Var::new));
+        let _ = evaluator.evaluate_memoized(&other);
+        assert_eq!(evaluator.evaluations(), 2);
+    }
+
+    #[test]
+    fn plain_evaluate_bypasses_the_cache() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new((0..3).map(Var::new));
+        let mut evaluator = Evaluator::new(&cnf, conflicts_config(4));
+        let _ = evaluator.evaluate(&set);
+        let _ = evaluator.evaluate(&set);
+        // Both calls really evaluated (fresh samples each time).
+        assert_eq!(evaluator.evaluations(), 2);
+        assert_eq!(evaluator.cache_hits(), 0);
     }
 
     #[test]

@@ -1,227 +1,29 @@
-//! The leader/worker runtime that processes batches of sub-problems.
+//! The historical batch-runner entry point, now a thin shim over the
+//! [`CubeOracle`](crate::CubeOracle).
 //!
-//! PDSAT is an MPI program with one leader process and many computing
-//! processes, each running a modified MiniSat that can be interrupted by a
-//! non-blocking message. Our equivalent is a batch runner over a shared
-//! atomic work queue: scoped worker threads claim cube indices, solve `C`
-//! under the cube's assumptions, and report the measured cost over an mpsc
-//! channel; a shared [`InterruptFlag`] plays the role of the stop messages.
+//! The leader/worker runtime that used to live here (scoped worker threads
+//! over an atomic work queue, the stand-in for PDSAT's MPI leader and
+//! computing processes) moved to [`crate::oracle`], where it serves all three
+//! solve paths — the Monte Carlo [`Evaluator`](crate::Evaluator), solving
+//! mode and this shim — behind one backend API. New code should construct a
+//! [`CubeOracle`](crate::CubeOracle) directly; the oracle keeps aggregate
+//! statistics and a memoized point cache across batches, which a one-shot
+//! call here throws away. (Worker backends — including warm solvers — are
+//! built per batch either way; warm state persists across the cubes of one
+//! batch, not across batches.)
 
-use crate::CostMetric;
-use pdsat_cnf::{Assignment, Cnf, Cube};
-use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, Verdict};
-use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+pub use crate::oracle::{BatchConfig, BatchResult, CubeOutcome, VerdictSummary};
+use crate::CubeOracle;
+use pdsat_cnf::{Cnf, Cube};
+use pdsat_solver::InterruptFlag;
 
-/// Summary verdict of one sub-problem (the model, if any, travels separately).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum VerdictSummary {
-    /// The sub-problem is satisfiable.
-    Sat,
-    /// The sub-problem is unsatisfiable.
-    Unsat,
-    /// The sub-problem was not decided (budget exhausted or interrupted).
-    Unknown,
-}
-
-/// Result of solving one cube of a batch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CubeOutcome {
-    /// Index of the cube in the submitted batch.
-    pub index: usize,
-    /// Measured cost under the configured [`CostMetric`].
-    pub cost: f64,
-    /// Verdict of the sub-problem.
-    pub verdict: VerdictSummary,
-    /// Number of conflicts spent on the sub-problem.
-    pub conflicts: u64,
-    /// A model of `C ∧ cube`, when the sub-problem was satisfiable and model
-    /// collection was enabled.
-    pub model: Option<Assignment>,
-}
-
-/// Result of processing a whole batch.
-#[derive(Debug, Clone)]
-pub struct BatchResult {
-    /// Per-cube outcomes, sorted by cube index.
-    pub outcomes: Vec<CubeOutcome>,
-    /// Per-variable conflict participation, summed over all sub-problems of
-    /// the batch (used as the "conflict activity" of the tabu heuristic).
-    pub var_conflict_totals: Vec<u64>,
-    /// Wall-clock time of the whole batch (with however many workers ran).
-    pub wall_time: Duration,
-}
-
-impl BatchResult {
-    /// Costs in cube-index order.
-    #[must_use]
-    pub fn costs(&self) -> Vec<f64> {
-        self.outcomes.iter().map(|o| o.cost).collect()
-    }
-
-    /// First satisfiable outcome (lowest cube index), if any.
-    #[must_use]
-    pub fn first_sat(&self) -> Option<&CubeOutcome> {
-        self.outcomes
-            .iter()
-            .find(|o| o.verdict == VerdictSummary::Sat)
-    }
-
-    /// Counts of (sat, unsat, unknown) outcomes.
-    #[must_use]
-    pub fn verdict_counts(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
-        for o in &self.outcomes {
-            match o.verdict {
-                VerdictSummary::Sat => counts.0 += 1,
-                VerdictSummary::Unsat => counts.1 += 1,
-                VerdictSummary::Unknown => counts.2 += 1,
-            }
-        }
-        counts
-    }
-}
-
-/// Configuration of a batch run.
-#[derive(Debug, Clone)]
-pub struct BatchConfig {
-    /// Solver configuration used for every sub-problem.
-    pub solver_config: SolverConfig,
-    /// Per-sub-problem resource budget.
-    pub budget: Budget,
-    /// Cost metric recorded per sub-problem.
-    pub cost: CostMetric,
-    /// Number of worker threads (values 0 and 1 both mean "run on the calling
-    /// thread").
-    pub num_workers: usize,
-    /// Whether to keep models of satisfiable sub-problems.
-    pub collect_models: bool,
-    /// Raise the shared interrupt flag as soon as one sub-problem is found
-    /// satisfiable (used when only the answer, not the full family cost,
-    /// matters).
-    pub stop_on_sat: bool,
-    /// Reuse one incremental solver per worker instead of building a fresh
-    /// solver for every cube.
-    ///
-    /// Reuse is much faster (the clause database is loaded once and learnt
-    /// clauses carry over between cubes, as in PDSAT's long-lived MiniSat
-    /// worker processes) but makes the per-cube costs depend on the order in
-    /// which cubes are processed, so the Monte Carlo estimator defaults to
-    /// fresh solvers to keep the observations identically distributed.
-    pub reuse_solvers: bool,
-}
-
-impl Default for BatchConfig {
-    fn default() -> Self {
-        BatchConfig {
-            solver_config: SolverConfig::default(),
-            budget: Budget::unlimited(),
-            cost: CostMetric::default(),
-            num_workers: 1,
-            collect_models: true,
-            stop_on_sat: false,
-            reuse_solvers: false,
-        }
-    }
-}
-
-/// Per-worker solving state: either a fresh solver per cube or one reusable
-/// incremental solver.
-struct WorkerState<'a> {
-    cnf: &'a Cnf,
-    config: &'a BatchConfig,
-    reusable: Option<Solver>,
-    /// Conflict counts already attributed to earlier cubes (only relevant
-    /// when the solver is reused).
-    attributed: Vec<u64>,
-}
-
-impl<'a> WorkerState<'a> {
-    fn new(cnf: &'a Cnf, config: &'a BatchConfig) -> WorkerState<'a> {
-        WorkerState {
-            cnf,
-            config,
-            reusable: config
-                .reuse_solvers
-                .then(|| Solver::from_cnf_with_config(cnf, config.solver_config.clone())),
-            attributed: vec![0; cnf.num_vars()],
-        }
-    }
-
-    /// Solves one cube and returns its outcome together with the per-variable
-    /// conflict participation attributable to this cube.
-    ///
-    /// With fresh solvers (the default of the estimator) the measured cost
-    /// includes loading the clause database and the root-level propagation,
-    /// exactly as in the paper where every sub-problem is a complete MiniSat
-    /// run; with a reused solver only the incremental work of the call is
-    /// attributed to the cube.
-    fn solve_one(
-        &mut self,
-        cube: &Cube,
-        index: usize,
-        interrupt: &InterruptFlag,
-    ) -> (CubeOutcome, Vec<u64>) {
-        let start = Instant::now();
-        let mut fresh;
-        let (solver, before) = match &mut self.reusable {
-            Some(s) => {
-                let snapshot = *s.stats();
-                (s, snapshot)
-            }
-            None => {
-                fresh = Solver::from_cnf_with_config(self.cnf, self.config.solver_config.clone());
-                (&mut fresh, pdsat_solver::SolverStats::default())
-            }
-        };
-        let verdict =
-            solver.solve_limited(&cube.to_assumptions(), &self.config.budget, Some(interrupt));
-        let elapsed = start.elapsed();
-        let mut delta = *solver.stats();
-        delta.conflicts -= before.conflicts;
-        delta.decisions -= before.decisions;
-        delta.propagations -= before.propagations;
-        let cost = self.config.cost.measure(&delta, elapsed);
-        let (summary, model) = match verdict {
-            Verdict::Sat(m) => (VerdictSummary::Sat, self.config.collect_models.then_some(m)),
-            Verdict::Unsat => (VerdictSummary::Unsat, None),
-            Verdict::Unknown(_) => (VerdictSummary::Unknown, None),
-        };
-        let outcome = CubeOutcome {
-            index,
-            cost,
-            verdict: summary,
-            conflicts: delta.conflicts,
-            model,
-        };
-        let counts = if self.config.reuse_solvers {
-            // Attribute only the *new* conflict participation to this cube.
-            let current = solver.conflict_counts();
-            let delta_counts: Vec<u64> = current
-                .iter()
-                .zip(self.attributed.iter().chain(std::iter::repeat(&0)))
-                .map(|(&now, &prev)| now - prev)
-                .collect();
-            self.attributed = current.to_vec();
-            delta_counts
-        } else {
-            solver.conflict_counts().to_vec()
-        };
-        (outcome, counts)
-    }
-}
-
-/// Processes a batch of cubes (sub-problems of one decomposition family).
-///
-/// With `num_workers <= 1` the batch runs sequentially on the calling thread;
-/// otherwise a [`std::thread::scope`] spawns worker threads that claim cubes
-/// from a shared atomic queue. Either way the outcomes are returned in cube
-/// order.
-///
-/// The optional `external_interrupt` lets a caller abandon the whole batch —
-/// the equivalent of PDSAT's leader abandoning a search-space point.
+/// Processes a batch of cubes (sub-problems of one decomposition family)
+/// through a throwaway [`CubeOracle`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `CubeOracle` and call `solve_batch` instead; the oracle \
+            carries aggregate stats and the point cache across batches"
+)]
 #[must_use]
 pub fn solve_cube_batch(
     cnf: &Cnf,
@@ -229,104 +31,19 @@ pub fn solve_cube_batch(
     config: &BatchConfig,
     external_interrupt: Option<&InterruptFlag>,
 ) -> BatchResult {
-    let start = Instant::now();
-    let interrupt = external_interrupt.cloned().unwrap_or_default();
-    let num_vars = cnf.num_vars();
-    let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(cubes.len());
-    let mut totals = vec![0u64; num_vars];
-
-    if config.num_workers <= 1 {
-        let mut state = WorkerState::new(cnf, config);
-        for (index, cube) in cubes.iter().enumerate() {
-            if config.stop_on_sat && interrupt.is_raised() {
-                break;
-            }
-            let (outcome, counts) = state.solve_one(cube, index, &interrupt);
-            accumulate(&mut totals, &counts);
-            if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
-                interrupt.raise();
-            }
-            outcomes.push(outcome);
-        }
-    } else {
-        let next_job = AtomicUsize::new(0);
-        let (result_tx, result_rx) = mpsc::channel::<(CubeOutcome, Vec<u64>)>();
-
-        std::thread::scope(|scope| {
-            for _ in 0..config.num_workers {
-                let next_job = &next_job;
-                let result_tx = result_tx.clone();
-                let interrupt = interrupt.clone();
-                scope.spawn(move || {
-                    let mut state = WorkerState::new(cnf, config);
-                    loop {
-                        let index = next_job.fetch_add(1, Ordering::Relaxed);
-                        let Some(cube) = cubes.get(index) else {
-                            break;
-                        };
-                        if config.stop_on_sat && interrupt.is_raised() {
-                            // Abandon the remaining cubes quickly.
-                            continue;
-                        }
-                        let (outcome, counts) = state.solve_one(cube, index, &interrupt);
-                        if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
-                            interrupt.raise();
-                        }
-                        if result_tx.send((outcome, counts)).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(result_tx);
-            while let Ok((outcome, counts)) = result_rx.recv() {
-                accumulate(&mut totals, &counts);
-                outcomes.push(outcome);
-            }
-        });
-    }
-
-    outcomes.sort_by_key(|o| o.index);
-    BatchResult {
-        outcomes,
-        var_conflict_totals: totals,
-        wall_time: start.elapsed(),
-    }
-}
-
-fn accumulate(totals: &mut [u64], counts: &[u64]) {
-    for (t, &c) in totals.iter_mut().zip(counts) {
-        *t += c;
-    }
+    CubeOracle::borrowed(cnf, config.clone()).solve_batch(cubes, external_interrupt)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
-    use crate::DecompositionSet;
-    use pdsat_cnf::{Lit, Var};
-    use rand::SeedableRng;
+    use crate::{BackendKind, CostMetric, CubeOracle, DecompositionSet};
+    use pdsat_cnf::Var;
 
-    /// A small unsatisfiable pigeonhole formula (p pigeons, p-1 holes).
-    fn pigeonhole(pigeons: usize) -> Cnf {
-        let holes = pigeons - 1;
-        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
-        let mut cnf = Cnf::new(pigeons * holes);
-        for i in 0..pigeons {
-            cnf.add_clause((0..holes).map(|j| var(i, j)));
-        }
-        for j in 0..holes {
-            for i1 in 0..pigeons {
-                for i2 in (i1 + 1)..pigeons {
-                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
-                }
-            }
-        }
-        cnf
-    }
-
-    fn sat_chain(n: usize) -> Cnf {
-        // x1 → x2 → … → xn, satisfiable.
+    fn chain(n: usize) -> Cnf {
+        use pdsat_cnf::Lit;
         let mut cnf = Cnf::new(n);
         for i in 0..n - 1 {
             cnf.add_clause([
@@ -338,157 +55,21 @@ mod tests {
     }
 
     #[test]
-    fn sequential_batch_covers_all_cubes() {
-        let cnf = sat_chain(6);
+    fn shim_matches_direct_oracle_use() {
+        let cnf = chain(6);
         let set = DecompositionSet::new([Var::new(0), Var::new(1)]);
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let config = BatchConfig {
-            cost: CostMetric::Propagations,
-            ..BatchConfig::default()
-        };
-        let result = solve_cube_batch(&cnf, &cubes, &config, None);
-        assert_eq!(result.outcomes.len(), 4);
-        let (sat, unsat, unknown) = result.verdict_counts();
-        // The implication chain x1→x2 makes exactly the cube (x1=1, x2=0)
-        // unsatisfiable; the other three cubes extend to models.
-        assert_eq!(sat, 3);
-        assert_eq!(unsat, 1);
-        assert_eq!(unknown, 0);
-        assert!(result.first_sat().is_some());
-        assert_eq!(result.costs().len(), 4);
-        // Outcomes are in cube order.
-        for (i, o) in result.outcomes.iter().enumerate() {
-            assert_eq!(o.index, i);
+        let cubes: Vec<_> = set.cubes().collect();
+        for backend in [BackendKind::Fresh, BackendKind::Warm] {
+            let config = BatchConfig {
+                cost: CostMetric::Propagations,
+                backend,
+                ..BatchConfig::default()
+            };
+            let via_shim = solve_cube_batch(&cnf, &cubes, &config, None);
+            let via_oracle = CubeOracle::new(&cnf, config).solve_batch(&cubes, None);
+            assert_eq!(via_shim.verdict_counts(), via_oracle.verdict_counts());
+            assert!(via_shim.costs().eq(via_oracle.costs()));
+            assert_eq!(via_shim.var_conflict_totals, via_oracle.var_conflict_totals);
         }
-    }
-
-    #[test]
-    fn parallel_batch_matches_sequential_verdicts() {
-        let cnf = pigeonhole(4);
-        let set = DecompositionSet::new((0..3).map(Var::new));
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let seq_config = BatchConfig {
-            cost: CostMetric::Conflicts,
-            num_workers: 1,
-            ..BatchConfig::default()
-        };
-        let par_config = BatchConfig {
-            num_workers: 4,
-            ..seq_config.clone()
-        };
-        let seq = solve_cube_batch(&cnf, &cubes, &seq_config, None);
-        let par = solve_cube_batch(&cnf, &cubes, &par_config, None);
-        assert_eq!(seq.outcomes.len(), par.outcomes.len());
-        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
-            assert_eq!(a.index, b.index);
-            assert_eq!(a.verdict, b.verdict);
-            // Deterministic metric: identical costs regardless of scheduling.
-            assert_eq!(a.cost, b.cost);
-        }
-        assert_eq!(seq.var_conflict_totals, par.var_conflict_totals);
-    }
-
-    #[test]
-    fn unsat_formula_has_no_sat_cube() {
-        let cnf = pigeonhole(4);
-        let set = DecompositionSet::new([Var::new(0), Var::new(5)]);
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let result = solve_cube_batch(&cnf, &cubes, &BatchConfig::default(), None);
-        assert!(result.first_sat().is_none());
-        let (sat, unsat, _) = result.verdict_counts();
-        assert_eq!(sat, 0);
-        assert_eq!(unsat, 4);
-        assert!(result.var_conflict_totals.iter().any(|&c| c > 0));
-    }
-
-    #[test]
-    fn stop_on_sat_raises_interrupt() {
-        let cnf = sat_chain(4);
-        let set = DecompositionSet::new([Var::new(0)]);
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let config = BatchConfig {
-            stop_on_sat: true,
-            ..BatchConfig::default()
-        };
-        let flag = InterruptFlag::new();
-        let result = solve_cube_batch(&cnf, &cubes, &config, Some(&flag));
-        assert!(flag.is_raised());
-        assert!(!result.outcomes.is_empty());
-        assert!(result.first_sat().is_some());
-    }
-
-    #[test]
-    fn models_are_collected_and_extend_cubes() {
-        let cnf = sat_chain(5);
-        let set = DecompositionSet::new([Var::new(2)]);
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let result = solve_cube_batch(&cnf, &cubes, &BatchConfig::default(), None);
-        for outcome in &result.outcomes {
-            let model = outcome.model.as_ref().expect("models are collected");
-            assert!(cnf.is_satisfied_by(model));
-            let cube = &cubes[outcome.index];
-            for &l in cube.lits() {
-                assert_eq!(model.lit_value(l).to_bool(), Some(true));
-            }
-        }
-    }
-
-    #[test]
-    fn budget_exhaustion_is_reported_as_unknown() {
-        let cnf = pigeonhole(7);
-        let set = DecompositionSet::new([Var::new(0)]);
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let config = BatchConfig {
-            budget: Budget::unlimited().with_conflict_limit(1),
-            ..BatchConfig::default()
-        };
-        let result = solve_cube_batch(&cnf, &cubes, &config, None);
-        let (_, _, unknown) = result.verdict_counts();
-        assert_eq!(unknown, 2);
-    }
-
-    #[test]
-    fn reused_solvers_agree_on_verdicts_with_fresh_solvers() {
-        let cnf = pigeonhole(5);
-        let set = DecompositionSet::new((0..4).map(Var::new));
-        let cubes: Vec<Cube> = set.cubes().collect();
-        let fresh_config = BatchConfig {
-            cost: CostMetric::Conflicts,
-            ..BatchConfig::default()
-        };
-        let reuse_config = BatchConfig {
-            reuse_solvers: true,
-            ..fresh_config.clone()
-        };
-        let fresh = solve_cube_batch(&cnf, &cubes, &fresh_config, None);
-        let reused = solve_cube_batch(&cnf, &cubes, &reuse_config, None);
-        for (a, b) in fresh.outcomes.iter().zip(&reused.outcomes) {
-            assert_eq!(
-                a.verdict, b.verdict,
-                "verdicts must agree for cube {}",
-                a.index
-            );
-        }
-        // Learnt clauses carried across cubes make the reused run cheaper in
-        // total (or at worst equal).
-        let fresh_total: f64 = fresh.costs().iter().sum();
-        let reused_total: f64 = reused.costs().iter().sum();
-        assert!(reused_total <= fresh_total + 1e-9);
-    }
-
-    #[test]
-    fn random_sample_batch_is_reproducible_with_deterministic_metric() {
-        let cnf = pigeonhole(5);
-        let set = DecompositionSet::new((0..4).map(Var::new));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cubes = set.random_sample(10, &mut rng);
-        let config = BatchConfig {
-            cost: CostMetric::Conflicts,
-            num_workers: 3,
-            ..BatchConfig::default()
-        };
-        let a = solve_cube_batch(&cnf, &cubes, &config, None);
-        let b = solve_cube_batch(&cnf, &cubes, &config, None);
-        assert_eq!(a.costs(), b.costs());
     }
 }

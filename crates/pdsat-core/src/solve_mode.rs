@@ -7,7 +7,7 @@
 //! process the whole family and the time at which the satisfying assignment
 //! was encountered.
 
-use crate::runner::{solve_cube_batch, BatchConfig, VerdictSummary};
+use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
 use crate::{CostMetric, DecompositionSet};
 use pdsat_cnf::{Assignment, Cnf, Cube};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
@@ -30,10 +30,11 @@ pub struct SolveModeConfig {
     /// solving process after the satisfying solution was found"), which is
     /// the default here as well.
     pub stop_on_sat: bool,
-    /// Reuse one incremental solver per worker (the default: matches PDSAT's
-    /// long-lived MiniSat worker processes and is much faster than reloading
-    /// the clause database for every cube).
-    pub reuse_solvers: bool,
+    /// Which [`CubeBackend`](crate::CubeBackend) each worker runs.
+    /// [`BackendKind::Warm`] by default: one persistent incremental solver
+    /// per worker matches PDSAT's long-lived MiniSat worker processes and is
+    /// much faster than reloading the clause database for every cube.
+    pub backend: BackendKind,
 }
 
 impl Default for SolveModeConfig {
@@ -44,7 +45,7 @@ impl Default for SolveModeConfig {
             cost: CostMetric::default(),
             num_workers: 1,
             stop_on_sat: false,
-            reuse_solvers: true,
+            backend: BackendKind::Warm,
         }
     }
 }
@@ -132,9 +133,9 @@ pub fn solve_cubes(
         num_workers: config.num_workers,
         collect_models: true,
         stop_on_sat: config.stop_on_sat,
-        reuse_solvers: config.reuse_solvers,
+        backend: config.backend,
     };
-    let batch = solve_cube_batch(cnf, cubes, &batch_config, interrupt);
+    let batch = CubeOracle::borrowed(cnf, batch_config).solve_batch(cubes, interrupt);
 
     let mut total_cost = 0.0;
     let mut cost_to_first_sat = None;
@@ -168,7 +169,7 @@ pub fn solve_cubes(
         unknown_count,
         wall_time: batch.wall_time,
         model,
-        per_cube_costs: batch.costs(),
+        per_cube_costs: batch.costs().collect(),
     }
 }
 

@@ -112,7 +112,10 @@ impl TabuSearch {
                 "tabu lists forbid re-evaluation"
             );
             let set = space.decomposition_set(point);
-            let value = evaluator.evaluate(&set).value();
+            // Within one run the tabu lists already forbid re-evaluation; the
+            // memoized path additionally reuses points paid for by *other*
+            // searches sharing this evaluator's oracle.
+            let value = evaluator.evaluate_memoized(&set).value();
             evaluated.insert(point.clone(), value);
             value
         };

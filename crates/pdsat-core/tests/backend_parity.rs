@@ -1,0 +1,204 @@
+//! Differential test: the fresh and warm backends are interchangeable as far
+//! as *answers* are concerned.
+//!
+//! The `CubeBackend` contract (DESIGN.md) guarantees that, run to completion,
+//! the two backends decide every cube of a family identically — learnt-clause
+//! carryover is satisfiability-preserving and assumptions are retracted
+//! between cubes — so verdict counts and the `first_sat` index always agree.
+//! Models agree bit-for-bit when the satisfying cube is the first cube the
+//! warm worker touches (its state is then identical to a fresh solver's);
+//! for later cubes carried-over learnt clauses may steer the search to a
+//! *different but equally valid* model, which is all the contract promises.
+//! Costs are *not* required to match (that is the whole point of the warm
+//! backend), and parity of individual verdicts is only guaranteed for
+//! unconstrained runs: under a per-cube budget a warm solver may decide a
+//! cube the fresh solver times out on. The cutoff cases below therefore pin
+//! the two regimes where budget parity *is* exact: a budget no solver can
+//! act within, and a pre-raised interrupt.
+
+use pdsat_cnf::{Cnf, Cube, Lit, Var};
+use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet};
+use pdsat_solver::{Budget, InterruptFlag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random 3-CNF over `num_vars` variables with `num_clauses` clauses.
+fn random_3cnf(num_vars: usize, num_clauses: usize, rng: &mut StdRng) -> Cnf {
+    let mut cnf = Cnf::new(num_vars);
+    for _ in 0..num_clauses {
+        let mut vars = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        cnf.add_clause(
+            vars.iter()
+                .map(|&v| Lit::new(Var::new(v as u32), rng.gen_bool(0.5))),
+        );
+    }
+    cnf
+}
+
+/// A random decomposition set of `d` distinct variables.
+fn random_set(num_vars: usize, d: usize, rng: &mut StdRng) -> DecompositionSet {
+    let mut vars = Vec::new();
+    while vars.len() < d {
+        let v = Var::new(rng.gen_range(0..num_vars) as u32);
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    DecompositionSet::new(vars)
+}
+
+fn run(cnf: &Cnf, cubes: &[Cube], backend: BackendKind, budget: Budget) -> pdsat_core::BatchResult {
+    let config = BatchConfig {
+        cost: CostMetric::Conflicts,
+        budget,
+        backend,
+        ..BatchConfig::default()
+    };
+    CubeOracle::new(cnf, config).solve_batch(cubes, None)
+}
+
+#[test]
+fn backends_agree_on_random_families() {
+    let mut rng = StdRng::seed_from_u64(0x0BAC_0FF5);
+    let mut sat_families = 0;
+    let mut identical_models = 0;
+    for round in 0..12 {
+        // Densities straddling the 3-SAT threshold (~4.27) so the families
+        // mix SAT and UNSAT sub-problems.
+        let num_vars = 12 + (round % 4) * 2;
+        let num_clauses = (num_vars as f64 * (3.4 + 0.35 * (round % 5) as f64)) as usize;
+        let cnf = random_3cnf(num_vars, num_clauses, &mut rng);
+        let set = random_set(num_vars, 3 + round % 3, &mut rng);
+        let cubes: Vec<Cube> = set.cubes().collect();
+
+        let fresh = run(&cnf, &cubes, BackendKind::Fresh, Budget::unlimited());
+        let warm = run(&cnf, &cubes, BackendKind::Warm, Budget::unlimited());
+
+        assert_eq!(
+            fresh.verdict_counts(),
+            warm.verdict_counts(),
+            "round {round}: verdict counts diverge"
+        );
+        for (a, b) in fresh.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(
+                a.verdict, b.verdict,
+                "round {round}: cube {} decided differently",
+                a.index
+            );
+        }
+        match (fresh.first_sat(), warm.first_sat()) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                sat_families += 1;
+                assert_eq!(a.index, b.index, "round {round}: first_sat index diverges");
+                let ma = a.model.as_ref().expect("models are collected");
+                let mb = b.model.as_ref().expect("models are collected");
+                // Both models must satisfy C ∧ cube …
+                for m in [ma, mb] {
+                    assert!(cnf.is_satisfied_by(m), "round {round}: invalid model");
+                    for &l in cubes[a.index].lits() {
+                        assert_eq!(m.lit_value(l).to_bool(), Some(true));
+                    }
+                }
+                // … and when the satisfying cube is the first one the warm
+                // worker touched, its solver state equals a fresh solver's,
+                // so the models are bit-identical.
+                if a.index == 0 {
+                    assert_eq!(ma, mb, "round {round}: first-cube models diverge");
+                    identical_models += 1;
+                }
+            }
+            (a, b) => panic!(
+                "round {round}: one backend found a SAT cube, the other did not \
+                 (fresh: {:?}, warm: {:?})",
+                a.map(|o| o.index),
+                b.map(|o| o.index)
+            ),
+        }
+    }
+    // The instance mix must actually exercise both halves of the SAT side of
+    // the contract: families with a satisfying cube at all, and families
+    // whose first cube is the satisfying one (bit-identical model case).
+    assert!(
+        sat_families >= 3,
+        "only {sat_families} satisfiable families"
+    );
+    assert!(
+        identical_models >= 1,
+        "no family exercised the identical-model case"
+    );
+}
+
+#[test]
+fn backends_agree_under_a_zero_conflict_budget() {
+    // A conflict budget of 0 stops every search before its first decision;
+    // both backends must report the identical all-Unknown outcome for cubes
+    // that are not decided by unit propagation alone.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let cnf = random_3cnf(14, 70, &mut rng);
+    let set = random_set(14, 4, &mut rng);
+    let cubes: Vec<Cube> = set.cubes().collect();
+    let budget = Budget::unlimited().with_conflict_limit(0);
+
+    let fresh = run(&cnf, &cubes, BackendKind::Fresh, budget.clone());
+    let warm = run(&cnf, &cubes, BackendKind::Warm, budget);
+
+    assert_eq!(fresh.verdict_counts(), warm.verdict_counts());
+    for (a, b) in fresh.outcomes.iter().zip(&warm.outcomes) {
+        assert_eq!(a.verdict, b.verdict, "cube {}", a.index);
+    }
+    let (_, _, unknown) = fresh.verdict_counts();
+    assert!(unknown > 0, "the budget must actually bite");
+}
+
+#[test]
+fn backends_agree_under_a_pre_raised_interrupt() {
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    let cnf = random_3cnf(12, 54, &mut rng);
+    let set = random_set(12, 3, &mut rng);
+    let cubes: Vec<Cube> = set.cubes().collect();
+
+    let flag = InterruptFlag::new();
+    flag.raise();
+    let mut results = Vec::new();
+    for backend in [BackendKind::Fresh, BackendKind::Warm] {
+        let config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            backend,
+            ..BatchConfig::default()
+        };
+        results.push(CubeOracle::new(&cnf, config).solve_batch(&cubes, Some(&flag)));
+    }
+    let (fresh, warm) = (&results[0], &results[1]);
+    assert_eq!(fresh.verdict_counts(), warm.verdict_counts());
+    // Every cube is abandoned as Unknown, and no model is produced.
+    let (sat, _, unknown) = fresh.verdict_counts();
+    assert_eq!(sat, 0);
+    assert_eq!(unknown, cubes.len());
+    assert!(fresh.first_sat().is_none() && warm.first_sat().is_none());
+}
+
+#[test]
+fn warm_backend_is_no_more_expensive_over_whole_families() {
+    // The performance half of the contract on a conflict-heavy family:
+    // carried-over learnt clauses make the warm total conflict count at most
+    // the fresh total.
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let cnf = random_3cnf(16, 72, &mut rng);
+    let set = random_set(16, 4, &mut rng);
+    let cubes: Vec<Cube> = set.cubes().collect();
+    let fresh = run(&cnf, &cubes, BackendKind::Fresh, Budget::unlimited());
+    let warm = run(&cnf, &cubes, BackendKind::Warm, Budget::unlimited());
+    let fresh_total: f64 = fresh.costs().sum();
+    let warm_total: f64 = warm.costs().sum();
+    assert!(
+        warm_total <= fresh_total + 1e-9,
+        "warm {warm_total} vs fresh {fresh_total}"
+    );
+}

@@ -37,6 +37,32 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
+    /// The difference `self - before` of two snapshots of the same solver's
+    /// cumulative counters.
+    ///
+    /// This is how a warm (reused) solver attributes work to an individual
+    /// sub-problem: snapshot the stats before the call, subtract afterwards.
+    /// All counters are monotone over a solver's lifetime, so the subtraction
+    /// is exact; `saturating_sub` only guards against snapshots taken from
+    /// different solvers.
+    #[must_use]
+    pub fn delta_since(&self, before: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(before.conflicts),
+            decisions: self.decisions.saturating_sub(before.decisions),
+            propagations: self.propagations.saturating_sub(before.propagations),
+            restarts: self.restarts.saturating_sub(before.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(before.learnt_clauses),
+            removed_clauses: self.removed_clauses.saturating_sub(before.removed_clauses),
+            learnt_literals: self.learnt_literals.saturating_sub(before.learnt_literals),
+            minimized_literals: self
+                .minimized_literals
+                .saturating_sub(before.minimized_literals),
+            gc_runs: self.gc_runs.saturating_sub(before.gc_runs),
+            solve_time: self.solve_time.saturating_sub(before.solve_time),
+        }
+    }
+
     /// Adds the counters of `other` into `self` (used to aggregate the
     /// statistics of many sub-problem solves).
     pub fn absorb(&mut self, other: &SolverStats) {

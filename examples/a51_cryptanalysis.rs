@@ -10,7 +10,7 @@
 
 use pdsat::ciphers::{InstanceBuilder, StreamCipher, A51};
 use pdsat::core::{
-    solve_family, CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
+    solve_family, BackendKind, CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
     SolveModeConfig, TabuConfig, TabuSearch,
 };
 use rand::SeedableRng;
@@ -64,9 +64,9 @@ fn main() {
         &SolveModeConfig {
             cost: CostMetric::Propagations,
             num_workers: 4,
-            // Fresh solver per cube, like the estimator, so that the measured
+            // Fresh backend, like the estimator, so that the measured
             // family cost is directly comparable with the prediction.
-            reuse_solvers: false,
+            backend: BackendKind::Fresh,
             ..SolveModeConfig::default()
         },
         None,

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example grain_volunteer`.
 
 use pdsat::ciphers::{Grain, InstanceBuilder};
-use pdsat::core::{solve_family, CostMetric, DecompositionSet, SolveModeConfig};
+use pdsat::core::{solve_family, BackendKind, CostMetric, DecompositionSet, SolveModeConfig};
 use pdsat::distrib::{
     simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig, GridConfig,
 };
@@ -34,7 +34,7 @@ fn main() {
         &SolveModeConfig {
             cost: CostMetric::Propagations,
             num_workers: 4,
-            reuse_solvers: false,
+            backend: BackendKind::Fresh,
             ..SolveModeConfig::default()
         },
         None,
