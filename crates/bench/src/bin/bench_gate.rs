@@ -3,10 +3,23 @@
 //! Compares the medians of a freshly produced `PDSAT_BENCH_JSON` snapshot
 //! against the committed baseline and fails (exit 1) when any selected
 //! benchmark regressed beyond the allowed percentage. CI uses it to protect
-//! the warm-backend solving-mode numbers:
+//! the warm-backend and 4-worker solving-mode numbers:
 //!
 //! ```text
 //! bench_gate BENCH_solver.json bench_table3_current.json backend/warm 10
+//! bench_gate BENCH_solver.json bench_table3_current.json workers/4 10
+//! ```
+//!
+//! A second mode asserts a *scaling relation inside one snapshot*: the
+//! median of the first id must beat the median of the second (within an
+//! optional noise tolerance). CI uses it so the multi-worker path can never
+//! again land materially slower than the sequential one (the 2.2× regression
+//! this mode was added for):
+//!
+//! ```text
+//! bench_gate --faster-than bench_table3_current.json \
+//!     table3_solving_mode/grain_family_1024_cubes_workers/4 \
+//!     table3_solving_mode/grain_family_1024_cubes_workers/1 10
 //! ```
 //!
 //! The snapshot format is the fixed one the vendored criterion stand-in
@@ -49,10 +62,66 @@ fn lookup(snapshot: &[(String, f64)], id: &str) -> Option<f64> {
     snapshot.iter().find(|(i, _)| i == id).map(|&(_, m)| m)
 }
 
+/// The `--faster-than` mode: inside one snapshot, `fast_id`'s median must
+/// not exceed `slow_id`'s by more than `tolerance_percent` (0 = strictly
+/// faster). The tolerance keeps the gate quiet when the two paths are
+/// statistically tied (e.g. the worker clamp makes them run identical code
+/// on a single-CPU machine) while still catching the regression class it
+/// exists for — a multi-worker path landing x2 slower is far outside any
+/// noise band.
+fn run_faster_than(
+    snapshot_path: &str,
+    fast_id: &str,
+    slow_id: &str,
+    tolerance_percent: f64,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(snapshot_path)
+        .map_err(|e| format!("cannot read {snapshot_path}: {e}"))?;
+    let snapshot = parse_snapshot(&text);
+    let fast = lookup(&snapshot, fast_id)
+        .ok_or_else(|| format!("no benchmark '{fast_id}' in {snapshot_path}"))?;
+    let slow = lookup(&snapshot, slow_id)
+        .ok_or_else(|| format!("no benchmark '{slow_id}' in {snapshot_path}"))?;
+    let speedup = slow / fast;
+    let report =
+        format!("  {fast_id}: {fast:.0} ns\n  {slow_id}: {slow:.0} ns\n  speedup: {speedup:.2}x\n");
+    if fast <= slow * (1.0 + tolerance_percent / 100.0) {
+        Ok(format!("scaling gate OK\n{report}"))
+    } else {
+        Err(format!(
+            "scaling gate FAILED: {fast_id} ({fast:.0} ns) is more than {tolerance_percent} % \
+             slower than {slow_id} ({slow:.0} ns)\n{report}"
+        ))
+    }
+}
+
 fn run(args: &[String]) -> Result<String, String> {
+    if let [flag, rest @ ..] = args {
+        if flag == "--faster-than" {
+            match rest {
+                [snapshot_path, fast_id, slow_id] => {
+                    return run_faster_than(snapshot_path, fast_id, slow_id, 0.0);
+                }
+                [snapshot_path, fast_id, slow_id, tolerance] => {
+                    let tolerance: f64 = tolerance
+                        .parse()
+                        .map_err(|_| format!("bad tolerance '{tolerance}'"))?;
+                    return run_faster_than(snapshot_path, fast_id, slow_id, tolerance);
+                }
+                _ => {
+                    return Err(
+                        "usage: bench_gate --faster-than <current.json> <fast-id> <slow-id> \
+                         [tolerance-%]"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
     let [baseline_path, current_path, needle, max_regression_percent] = args else {
         return Err(
-            "usage: bench_gate <baseline.json> <current.json> <id-substring> <max-regression-%>"
+            "usage: bench_gate <baseline.json> <current.json> <id-substring> <max-regression-%>\n\
+             \u{20}      bench_gate --faster-than <current.json> <fast-id> <slow-id> [tolerance-%]"
                 .to_string(),
         );
     };
@@ -164,6 +233,44 @@ mod tests {
         };
         assert!(run(&args("10")).is_ok());
         assert!(run(&args("2")).is_err());
+    }
+
+    #[test]
+    fn faster_than_gate_orders_medians() {
+        let dir = std::env::temp_dir().join("pdsat_bench_gate_test_scaling");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = r#"{
+  "benchmarks": [
+    {"id": "table3_solving_mode/grain_family_1024_cubes_workers/1", "median_ns": 17000000.0, "samples": 10, "iters_per_sample": 12},
+    {"id": "table3_solving_mode/grain_family_1024_cubes_workers/4", "median_ns": 6000000.0, "samples": 10, "iters_per_sample": 30}
+  ]
+}"#;
+        let path = dir.join("snap.json");
+        std::fs::write(&path, snapshot).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let args = |fast: &str, slow: &str| {
+            vec![
+                "--faster-than".to_string(),
+                path.clone(),
+                format!("table3_solving_mode/grain_family_1024_cubes_workers/{fast}"),
+                format!("table3_solving_mode/grain_family_1024_cubes_workers/{slow}"),
+            ]
+        };
+        // 4 workers beat 1: OK. The reverse direction must fail, as must a
+        // missing id.
+        assert!(run(&args("4", "1")).is_ok());
+        assert!(run(&args("1", "4")).is_err());
+        assert!(run(&args("4", "2")).is_err());
+        // The noise tolerance forgives small inversions but not large ones:
+        // 17 ms vs 6 ms is ~183 % slower.
+        let with_tolerance = |fast: &str, slow: &str, tol: &str| {
+            let mut a = args(fast, slow);
+            a.push(tol.to_string());
+            a
+        };
+        assert!(run(&with_tolerance("1", "4", "200")).is_ok());
+        assert!(run(&with_tolerance("1", "4", "50")).is_err());
+        assert!(run(&with_tolerance("4", "1", "0")).is_ok());
     }
 
     #[test]

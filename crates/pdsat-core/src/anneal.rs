@@ -89,6 +89,13 @@ impl SimulatedAnnealing {
     /// Runs the minimization from `start` over `space`, evaluating the
     /// predictive function with `evaluator`.
     ///
+    /// The evaluator should be long-lived (ideally shared with other
+    /// searches over the same instance): it owns the oracle's persistent
+    /// worker pool, so every point evaluation of this search reuses the same
+    /// resident backends — with a warm backend, lemmas learnt at one point
+    /// keep paying off at the next — and the memoized point cache answers
+    /// revisited points for free.
+    ///
     /// # Panics
     ///
     /// Panics if `start` has a different dimension than `space`.

@@ -23,15 +23,18 @@
 //!    estimates to a cluster.
 //!
 //! All three solve paths — the [`Evaluator`], [`solve_family`] /
-//! [`solve_cubes`] and ad-hoc batches — route through one [`CubeOracle`]:
-//! an executor owning the worker pool (the stand-in for PDSAT's MPI
-//! leader/computing processes), per-cube budgets, interrupt fan-out,
-//! aggregated solver-statistics deltas and a memoizing point cache. The unit
-//! of work it schedules is an exchangeable [`CubeBackend`]:
-//! [`BackendKind::Fresh`] builds a solver per cube (order-independent
-//! observations, what the Monte Carlo argument assumes), while
-//! [`BackendKind::Warm`] keeps one incremental solver per worker whose learnt
-//! clauses and VSIDS state carry over across the whole family.
+//! [`solve_cubes`] / [`FamilySolver`] and ad-hoc batches — route through one
+//! [`CubeOracle`]: an executor owning a **persistent worker pool** (the
+//! stand-in for PDSAT's long-lived MPI leader/computing processes): worker
+//! threads spawned once for the oracle's lifetime, each owning one backend
+//! fed chunked jobs over channels, with per-cube budgets, interrupt fan-out,
+//! per-worker stats/conflict-count accumulation merged once per batch, and a
+//! memoizing point cache. The unit of work it schedules is an exchangeable
+//! [`CubeBackend`]: [`BackendKind::Fresh`] builds a solver per cube
+//! (order-independent observations, what the Monte Carlo argument assumes),
+//! while [`BackendKind::Warm`] keeps one incremental solver per worker whose
+//! learnt clauses and VSIDS state carry over across every batch the oracle
+//! processes.
 //!
 //! # Quick start
 //!
@@ -116,6 +119,6 @@ pub use predict::{Evaluator, EvaluatorConfig, PointEvaluation, SampleVerdicts};
 #[allow(deprecated)]
 pub use runner::solve_cube_batch;
 pub use search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
-pub use solve_mode::{solve_cubes, solve_family, SolveModeConfig, SolveReport};
+pub use solve_mode::{solve_cubes, solve_family, FamilySolver, SolveModeConfig, SolveReport};
 pub use space::{Point, SearchSpace};
 pub use tabu::{NewCenterHeuristic, TabuConfig, TabuSearch};

@@ -6,20 +6,24 @@
 //! of work: *solve `C[X̃/α]` under the cube's assumptions*. PDSAT realizes
 //! that unit as an MPI worker running a modified MiniSat; this module
 //! realizes it as an exchangeable [`CubeBackend`] driven by an executor that
-//! owns the worker pool (scoped threads over an atomic work queue), applies
-//! per-cube [`Budget`]s, fans an [`InterruptFlag`] out to every worker,
-//! aggregates exact [`SolverStats`] deltas, and memoizes completed point
-//! evaluations in a [`PointCache`] so revisited decomposition points are
-//! never paid for twice.
+//! owns a **persistent worker pool** ([`oracle/pool.rs`](pool)): worker
+//! threads are spawned once when the oracle is built, each owns one backend
+//! instance for the oracle's whole lifetime, and batches are streamed to
+//! them as chunked jobs over channels. The executor applies per-cube
+//! [`Budget`]s, fans an [`InterruptFlag`] out to every worker, merges
+//! per-worker [`SolverStats`] and conflict-count accumulators once per
+//! batch, and memoizes completed point evaluations in a [`PointCache`] so
+//! revisited decomposition points are never paid for twice.
 //!
 //! The [`Evaluator`](crate::Evaluator), [`solve_family`](crate::solve_family)
-//! / [`solve_cubes`](crate::solve_cubes) and the deprecated
-//! [`solve_cube_batch`](crate::runner::solve_cube_batch) shim all route
-//! through here; backend selection threads through their configs as a
-//! [`BackendKind`].
+//! / [`solve_cubes`](crate::solve_cubes) / [`FamilySolver`](crate::FamilySolver)
+//! and the deprecated [`solve_cube_batch`](crate::runner::solve_cube_batch)
+//! shim all route through here; backend selection threads through their
+//! configs as a [`BackendKind`].
 
 mod backend;
 mod cache;
+mod pool;
 
 pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBackend};
 pub use cache::PointCache;
@@ -27,10 +31,9 @@ pub use cache::PointCache;
 use crate::CostMetric;
 use pdsat_cnf::{Assignment, Cnf, Cube};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats, Verdict};
+use pool::{BatchShared, WorkerPool};
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Summary verdict of one sub-problem (the model, if any, travels separately).
@@ -61,12 +64,35 @@ pub struct CubeOutcome {
 }
 
 /// Result of processing a whole batch.
+///
+/// # The `stop_on_sat` contract
+///
+/// With [`BatchConfig::stop_on_sat`] set, `outcomes` contains **exactly the
+/// cubes that were solved before the raised flag was observed**, sorted by
+/// cube index — every solved cube is reported, none are silently dropped,
+/// and `solver_stats` / `var_conflict_totals` cover precisely the reported
+/// outcomes. Workers stop claiming new cubes as soon as they observe the
+/// raised flag (the flag is re-checked before every cube), so unclaimed
+/// cubes are simply never started. With one worker the reported outcomes
+/// form a *prefix* of the batch; with a pool they are a subset whose exact
+/// membership depends on scheduling, because each worker may complete the
+/// cube it is holding when the flag goes up. Both paths honor the same
+/// contract; only the prefix-ness is a single-worker refinement.
+///
+/// Without `stop_on_sat`, a raised external interrupt does *not* shrink
+/// `outcomes`: every cube is still claimed and reported, with the ones the
+/// interrupt cut short appearing as [`VerdictSummary::Unknown`] (the
+/// equivalent of PDSAT's leader abandoning a point — the workers drain the
+/// batch cheaply rather than abandoning it).
 #[derive(Debug, Clone)]
 pub struct BatchResult {
-    /// Per-cube outcomes, sorted by cube index.
+    /// Per-cube outcomes, sorted by cube index (see the `stop_on_sat`
+    /// contract above for which cubes appear).
     pub outcomes: Vec<CubeOutcome>,
     /// Per-variable conflict participation, summed over all sub-problems of
     /// the batch (used as the "conflict activity" of the tabu heuristic).
+    /// Accumulated per worker and merged once per batch — no per-cube
+    /// `num_vars`-sized message ever crosses a channel.
     pub var_conflict_totals: Vec<u64>,
     /// Solver-statistics deltas summed over all sub-problems of the batch.
     pub solver_stats: SolverStats,
@@ -114,13 +140,23 @@ pub struct BatchConfig {
     /// Cost metric recorded per sub-problem.
     pub cost: CostMetric,
     /// Number of worker threads (values 0 and 1 both mean "run on the calling
-    /// thread").
+    /// thread"; larger values spawn that many persistent pool threads when
+    /// the oracle is built).
     pub num_workers: usize,
+    /// Cap the pool at the machine's available parallelism (default `true`).
+    /// A pool wider than the hardware cannot run faster — on an
+    /// oversubscribed machine the surplus threads only add context-switch
+    /// and dispatch overhead, which is exactly the "more workers, slower
+    /// solving" failure mode this executor exists to prevent. When the cap
+    /// brings the effective count to 1, no pool is spawned at all and
+    /// batches run on the calling thread. Disable only to force an exact
+    /// pool shape (scheduling tests, oversubscription experiments).
+    pub clamp_workers_to_cpus: bool,
     /// Whether to keep models of satisfiable sub-problems.
     pub collect_models: bool,
     /// Raise the shared interrupt flag as soon as one sub-problem is found
     /// satisfiable (used when only the answer, not the full family cost,
-    /// matters).
+    /// matters). See the [`BatchResult`] docs for the exact contract.
     pub stop_on_sat: bool,
     /// Which [`CubeBackend`] each worker runs (see [`BackendKind`] for the
     /// fresh-vs-warm trade-off).
@@ -134,6 +170,7 @@ impl Default for BatchConfig {
             budget: Budget::unlimited(),
             cost: CostMetric::default(),
             num_workers: 1,
+            clamp_workers_to_cpus: true,
             collect_models: true,
             stop_on_sat: false,
             backend: BackendKind::Fresh,
@@ -141,8 +178,24 @@ impl Default for BatchConfig {
     }
 }
 
-/// The executor that owns the formula, the worker pool and the point cache,
-/// and processes batches of cubes through the configured backend.
+/// How an oracle executes batches: on the calling thread with one resident
+/// backend, or on the persistent worker pool.
+enum Executor {
+    /// `num_workers <= 1`: one backend owned by the oracle itself; batches
+    /// run on the calling thread.
+    Sequential(Box<dyn CubeBackend>),
+    /// `num_workers > 1`: long-lived pool threads, one resident backend each.
+    Pool(WorkerPool),
+}
+
+/// The executor that owns the formula, the persistent worker pool and the
+/// point cache, and processes batches of cubes through the configured
+/// backend.
+///
+/// Workers — and therefore their backends — live as long as the oracle:
+/// a [`BackendKind::Warm`] solver keeps its learnt clauses and VSIDS state
+/// across *every* batch the oracle processes, exactly like PDSAT's
+/// long-lived MiniSat worker processes, regardless of `num_workers`.
 ///
 /// # Example
 ///
@@ -168,37 +221,61 @@ impl Default for BatchConfig {
 /// assert_eq!((sat, unsat, unknown), (4, 0, 0));
 /// assert_eq!(oracle.cubes_solved(), 4);
 /// ```
-#[derive(Debug)]
-pub struct CubeOracle<'a> {
-    cnf: Cow<'a, Cnf>,
+pub struct CubeOracle {
+    cnf: Arc<Cnf>,
     config: BatchConfig,
+    exec: Executor,
     total_stats: SolverStats,
     batches: u64,
     cubes_solved: u64,
     point_cache: PointCache,
 }
 
-impl<'a> CubeOracle<'a> {
-    /// Creates a self-contained oracle over a copy of `cnf` (the form the
-    /// long-lived [`Evaluator`](crate::Evaluator) holds).
+impl std::fmt::Debug for CubeOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubeOracle")
+            .field("num_vars", &self.cnf.num_vars())
+            .field("config", &self.config)
+            .field("num_workers", &self.num_workers())
+            .field("batches", &self.batches)
+            .field("cubes_solved", &self.cubes_solved)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CubeOracle {
+    /// Creates an oracle over a copy of `cnf`, spawning its worker pool (and
+    /// building one backend per worker) up front.
     #[must_use]
-    pub fn new(cnf: &Cnf, config: BatchConfig) -> CubeOracle<'static> {
-        CubeOracle::from_cow(Cow::Owned(cnf.clone()), config)
+    pub fn new(cnf: &Cnf, config: BatchConfig) -> CubeOracle {
+        CubeOracle::from_arc(Arc::new(cnf.clone()), config)
     }
 
-    /// Creates an oracle that borrows `cnf` without copying it — the right
-    /// form for one-shot batches ([`solve_family`](crate::solve_family) and
-    /// the deprecated shim), where a clone of the formula per call would
-    /// dominate warm-backend family times.
+    /// Creates an oracle over an already-shared formula without copying it.
     #[must_use]
-    pub fn borrowed(cnf: &'a Cnf, config: BatchConfig) -> CubeOracle<'a> {
-        CubeOracle::from_cow(Cow::Borrowed(cnf), config)
-    }
-
-    fn from_cow(cnf: Cow<'a, Cnf>, config: BatchConfig) -> CubeOracle<'a> {
+    pub fn from_arc(cnf: Arc<Cnf>, config: BatchConfig) -> CubeOracle {
+        let effective_workers = if config.clamp_workers_to_cpus {
+            let hardware = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            config.num_workers.min(hardware)
+        } else {
+            config.num_workers
+        };
+        let exec = if effective_workers <= 1 {
+            Executor::Sequential(config.backend.build(&cnf, &config.solver_config))
+        } else {
+            Executor::Pool(WorkerPool::spawn(
+                &cnf,
+                config.backend,
+                &config.solver_config,
+                effective_workers,
+            ))
+        };
         CubeOracle {
             cnf,
             config,
+            exec,
             total_stats: SolverStats::default(),
             batches: 0,
             cubes_solved: 0,
@@ -216,6 +293,16 @@ impl<'a> CubeOracle<'a> {
     #[must_use]
     pub fn config(&self) -> &BatchConfig {
         &self.config
+    }
+
+    /// Number of resident workers actually executing batches: the pool size,
+    /// or 1 when batches run on the calling thread.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        match &self.exec {
+            Executor::Sequential(_) => 1,
+            Executor::Pool(pool) => pool.size(),
+        }
     }
 
     /// Solver-statistics deltas aggregated over every cube this oracle has
@@ -251,13 +338,16 @@ impl<'a> CubeOracle<'a> {
     /// Processes a batch of cubes (sub-problems of one decomposition family).
     ///
     /// With `num_workers <= 1` the batch runs sequentially on the calling
-    /// thread; otherwise a [`std::thread::scope`] spawns worker threads, each
-    /// owning one backend instance, that claim cubes from a shared atomic
-    /// queue. Either way the outcomes are returned in cube order.
+    /// thread; otherwise the batch is dispatched to the oracle's persistent
+    /// worker pool — to `min(num_workers, cubes.len())` of its threads, so a
+    /// batch smaller than the pool never wakes the surplus workers. Either
+    /// way the backends are the *same instances* across calls (warm state
+    /// survives from batch to batch) and the outcomes are returned in cube
+    /// order. An empty batch returns immediately without touching the pool.
     ///
     /// The optional `external_interrupt` lets a caller abandon the whole
     /// batch — the equivalent of PDSAT's leader abandoning a search-space
-    /// point.
+    /// point. See the [`BatchResult`] docs for the `stop_on_sat` contract.
     #[must_use]
     pub fn solve_batch(
         &mut self,
@@ -267,66 +357,49 @@ impl<'a> CubeOracle<'a> {
         let start = Instant::now();
         let interrupt = external_interrupt.cloned().unwrap_or_default();
         let num_vars = self.cnf.num_vars();
-        let config = &self.config;
-        let cnf = &self.cnf;
         let mut outcomes: Vec<CubeOutcome> = Vec::with_capacity(cubes.len());
         let mut totals = vec![0u64; num_vars];
         let mut stats = SolverStats::default();
 
-        if config.num_workers <= 1 {
-            let mut backend = config.backend.build(cnf, &config.solver_config);
-            for (index, cube) in cubes.iter().enumerate() {
-                if config.stop_on_sat && interrupt.is_raised() {
-                    break;
-                }
-                let raw = backend.solve(cube, &config.budget, &interrupt);
-                let (outcome, counts, delta) = finish_outcome(index, raw, config);
-                accumulate(&mut totals, &counts);
-                stats.absorb(&delta);
-                if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
-                    interrupt.raise();
-                }
-                outcomes.push(outcome);
-            }
-        } else {
-            let next_job = AtomicUsize::new(0);
-            type WorkerReport = (CubeOutcome, Vec<u64>, SolverStats);
-            let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
+        if cubes.is_empty() {
+            self.batches += 1;
+            return BatchResult {
+                outcomes,
+                var_conflict_totals: totals,
+                solver_stats: stats,
+                wall_time: start.elapsed(),
+            };
+        }
 
-            std::thread::scope(|scope| {
-                for _ in 0..config.num_workers {
-                    let next_job = &next_job;
-                    let result_tx = result_tx.clone();
-                    let interrupt = interrupt.clone();
-                    scope.spawn(move || {
-                        let mut backend = config.backend.build(cnf, &config.solver_config);
-                        loop {
-                            let index = next_job.fetch_add(1, Ordering::Relaxed);
-                            let Some(cube) = cubes.get(index) else {
-                                break;
-                            };
-                            if config.stop_on_sat && interrupt.is_raised() {
-                                // Abandon the remaining cubes quickly.
-                                continue;
-                            }
-                            let raw = backend.solve(cube, &config.budget, &interrupt);
-                            let report = finish_outcome(index, raw, config);
-                            if config.stop_on_sat && report.0.verdict == VerdictSummary::Sat {
-                                interrupt.raise();
-                            }
-                            if result_tx.send(report).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                }
-                drop(result_tx);
-                while let Ok((outcome, counts, delta)) = result_rx.recv() {
-                    accumulate(&mut totals, &counts);
-                    stats.absorb(&delta);
+        let config = &self.config;
+        match &mut self.exec {
+            Executor::Sequential(backend) => {
+                backend.begin_batch();
+                for (index, cube) in cubes.iter().enumerate() {
+                    if config.stop_on_sat && interrupt.is_raised() {
+                        break;
+                    }
+                    let raw = backend.solve(cube, &config.budget, &interrupt, &mut totals);
+                    stats.absorb(&raw.stats_delta);
+                    let outcome = finish_outcome(index, raw, config.cost, config.collect_models);
+                    if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
+                        interrupt.raise();
+                    }
                     outcomes.push(outcome);
                 }
-            });
+            }
+            Executor::Pool(pool) => {
+                let shared = Arc::new(BatchShared::new(
+                    cubes.to_vec(),
+                    pool.size().min(cubes.len()),
+                    config.budget.clone(),
+                    config.cost,
+                    config.collect_models,
+                    config.stop_on_sat,
+                    interrupt.clone(),
+                ));
+                pool.run_batch(&shared, &mut outcomes, &mut totals, &mut stats);
+            }
         }
 
         outcomes.sort_by_key(|o| o.index);
@@ -347,27 +420,21 @@ impl<'a> CubeOracle<'a> {
 fn finish_outcome(
     index: usize,
     raw: BackendOutcome,
-    config: &BatchConfig,
-) -> (CubeOutcome, Vec<u64>, SolverStats) {
-    let cost = config.cost.measure(&raw.stats_delta, raw.elapsed);
+    cost: CostMetric,
+    collect_models: bool,
+) -> CubeOutcome {
+    let cost = cost.measure(&raw.stats_delta, raw.elapsed);
     let (summary, model) = match raw.verdict {
-        Verdict::Sat(m) => (VerdictSummary::Sat, config.collect_models.then_some(m)),
+        Verdict::Sat(m) => (VerdictSummary::Sat, collect_models.then_some(m)),
         Verdict::Unsat => (VerdictSummary::Unsat, None),
         Verdict::Unknown(_) => (VerdictSummary::Unknown, None),
     };
-    let outcome = CubeOutcome {
+    CubeOutcome {
         index,
         cost,
         verdict: summary,
         conflicts: raw.stats_delta.conflicts,
         model,
-    };
-    (outcome, raw.conflict_delta, raw.stats_delta)
-}
-
-fn accumulate(totals: &mut [u64], counts: &[u64]) {
-    for (t, &c) in totals.iter_mut().zip(counts) {
-        *t += c;
     }
 }
 
@@ -453,6 +520,8 @@ mod tests {
         };
         let par_config = BatchConfig {
             num_workers: 4,
+            // Force a real pool even on single-core test machines.
+            clamp_workers_to_cpus: false,
             ..seq_config.clone()
         };
         let seq = batch(&cnf, &cubes, &seq_config);
@@ -496,6 +565,79 @@ mod tests {
         assert!(flag.is_raised());
         assert!(!result.outcomes.is_empty());
         assert!(result.first_sat().is_some());
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately_for_both_executors() {
+        let cnf = pigeonhole(4);
+        for workers in [1usize, 4] {
+            let config = BatchConfig {
+                num_workers: workers,
+                clamp_workers_to_cpus: false,
+                ..BatchConfig::default()
+            };
+            let mut oracle = CubeOracle::new(&cnf, config);
+            let result = oracle.solve_batch(&[], None);
+            assert!(result.outcomes.is_empty());
+            assert_eq!(result.var_conflict_totals, vec![0; cnf.num_vars()]);
+            assert_eq!(result.solver_stats.conflicts, 0);
+            assert_eq!(oracle.batches(), 1);
+            assert_eq!(oracle.cubes_solved(), 0);
+            // The oracle is still usable afterwards.
+            let set = DecompositionSet::new([Var::new(0)]);
+            let cubes: Vec<Cube> = set.cubes().collect();
+            let again = oracle.solve_batch(&cubes, None);
+            assert_eq!(again.outcomes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cubes_clamps_the_dispatch() {
+        let cnf = pigeonhole(4);
+        let set = DecompositionSet::new([Var::new(0)]);
+        let cubes: Vec<Cube> = set.cubes().collect(); // 2 cubes
+        let config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            num_workers: 8, // far more than cubes
+            clamp_workers_to_cpus: false,
+            ..BatchConfig::default()
+        };
+        let mut oracle = CubeOracle::new(&cnf, config);
+        assert_eq!(oracle.num_workers(), 8);
+        for _ in 0..3 {
+            // Repeated short batches must neither hang the drain nor lose
+            // outcomes.
+            let result = oracle.solve_batch(&cubes, None);
+            assert_eq!(result.outcomes.len(), 2);
+            let (sat, unsat, unknown) = result.verdict_counts();
+            assert_eq!((sat, unsat, unknown), (0, 2, 0));
+        }
+        assert_eq!(oracle.cubes_solved(), 6);
+    }
+
+    #[test]
+    fn worker_clamp_respects_available_parallelism() {
+        let cnf = pigeonhole(4);
+        let hardware = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let clamped = CubeOracle::new(
+            &cnf,
+            BatchConfig {
+                num_workers: 64,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(clamped.num_workers(), 64.min(hardware).max(1));
+        let forced = CubeOracle::new(
+            &cnf,
+            BatchConfig {
+                num_workers: 3,
+                clamp_workers_to_cpus: false,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(forced.num_workers(), 3);
     }
 
     #[test]
@@ -566,6 +708,7 @@ mod tests {
         let config = BatchConfig {
             cost: CostMetric::Conflicts,
             num_workers: 3,
+            clamp_workers_to_cpus: false,
             ..BatchConfig::default()
         };
         let a = batch(&cnf, &cubes, &config);

@@ -7,42 +7,76 @@
 //! executor never looks inside a backend — per-cube budgets, interrupt
 //! fan-out and cost measurement are applied uniformly on the outside — so new
 //! substrates (portfolio solvers, remote workers, …) plug in behind the same
-//! trait. The full behavioural contract lives in DESIGN.md ("CubeBackend
-//! contract").
+//! trait.
+//!
+//! Backends are *pool residents*: one instance is built per worker when the
+//! oracle is constructed and lives until the oracle is dropped, surviving
+//! across batches ([`CubeBackend::begin_batch`] re-arms it at each batch
+//! boundary). That lifecycle is what lets [`WarmBackend`]'s learnt clauses
+//! and VSIDS state accumulate across every batch the oracle processes — the
+//! analogue of PDSAT's long-lived MiniSat worker processes. The full
+//! behavioural contract lives in DESIGN.md ("CubeBackend contract").
 
 use pdsat_cnf::{Cnf, Cube};
 use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, SolverStats, Verdict};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything a backend reports about one solved cube.
 ///
-/// `stats_delta` and `conflict_delta` must cover exactly the work performed
-/// for *this* cube: a fresh solver reports its whole lifetime, a warm solver
-/// reports the difference since the previous cube. The oracle turns the delta
-/// into a [`CostMetric`](crate::CostMetric) observation and aggregates it.
+/// `stats_delta` must cover exactly the work performed for *this* cube: a
+/// fresh solver reports its whole lifetime, a warm solver reports the
+/// difference since the previous cube. The oracle turns the delta into a
+/// [`CostMetric`](crate::CostMetric) observation and aggregates it.
+/// Per-variable conflict participation is *not* part of the outcome: the
+/// backend adds it directly into the accumulator passed to
+/// [`CubeBackend::solve`], so no `num_vars`-sized allocation travels per
+/// cube.
 #[derive(Debug, Clone)]
 pub struct BackendOutcome {
     /// Verdict of `C ∧ cube` (the model travels inside [`Verdict::Sat`]).
     pub verdict: Verdict,
     /// Solver-statistics delta attributable to this cube.
     pub stats_delta: SolverStats,
-    /// Per-variable conflict-participation delta attributable to this cube
-    /// (indexed by variable; used as the tabu heuristic's activity signal).
-    pub conflict_delta: Vec<u64>,
     /// Wall-clock time of the call, including any per-cube setup the backend
     /// performs (a fresh backend counts loading the clause database, exactly
     /// as in the paper where every sub-problem is a complete MiniSat run).
     pub elapsed: Duration,
 }
 
-/// A strategy for solving the sub-problems of a decomposition family.
+/// A strategy for solving the sub-problems of decomposition families.
 ///
-/// One backend instance is owned by one worker thread and fed cubes
-/// sequentially; implementations therefore never need internal locking.
-pub trait CubeBackend {
+/// One backend instance is owned by one worker (the calling thread when the
+/// oracle is sequential, a pool thread otherwise) for the whole lifetime of
+/// the oracle, and is fed cubes sequentially; implementations therefore never
+/// need internal locking. The `Send` bound is what allows an instance to be
+/// built once and moved onto its long-lived pool thread.
+pub trait CubeBackend: Send {
     /// Solves `C ∧ cube` under the given budget and interrupt flag.
-    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome;
+    ///
+    /// The per-variable conflict participation attributable to this cube is
+    /// added into `conflict_acc` (indexed by variable, `num_vars` long) —
+    /// the worker owns one such accumulator per batch and the oracle merges
+    /// them once per batch.
+    fn solve(
+        &mut self,
+        cube: &Cube,
+        budget: &Budget,
+        interrupt: &InterruptFlag,
+        conflict_acc: &mut [u64],
+    ) -> BackendOutcome;
+
+    /// Re-arms the backend at a batch boundary, before it is fed the first
+    /// cube of a new batch.
+    ///
+    /// The default is a no-op: both built-in backends are naturally
+    /// re-entrant (a fresh backend rebuilds its solver per cube; a warm
+    /// backend retracts assumptions between cubes and *wants* its learnt
+    /// state to survive). Stateful substrates that cache per-batch data
+    /// (e.g. a remote worker holding an open job ticket, or a backend that
+    /// latched an interrupt) reset it here.
+    fn begin_batch(&mut self) {}
 
     /// Which substrate this backend is an instance of.
     fn kind(&self) -> BackendKind;
@@ -62,7 +96,10 @@ pub enum BackendKind {
     /// once and learnt clauses, VSIDS activities and saved phases carry over
     /// across all cubes the worker processes — like PDSAT's long-lived
     /// MiniSat worker processes, minus their per-sub-problem CNF reload.
-    /// Much faster, but per-cube costs depend on processing order.
+    /// Because workers live as long as the oracle, that state also carries
+    /// over across *batches* (e.g. across the points an
+    /// [`Evaluator`](crate::Evaluator) visits). Much faster, but per-cube
+    /// costs depend on processing order.
     Warm,
 }
 
@@ -76,11 +113,12 @@ impl BackendKind {
         }
     }
 
-    /// Builds one backend instance over `cnf` (one per worker thread).
+    /// Builds one backend instance over `cnf` (one per worker, built once
+    /// for the worker's lifetime).
     #[must_use]
-    pub fn build<'a>(self, cnf: &'a Cnf, config: &SolverConfig) -> Box<dyn CubeBackend + 'a> {
+    pub fn build(self, cnf: &Arc<Cnf>, config: &SolverConfig) -> Box<dyn CubeBackend> {
         match self {
-            BackendKind::Fresh => Box::new(FreshBackend::new(cnf, config.clone())),
+            BackendKind::Fresh => Box::new(FreshBackend::new(Arc::clone(cnf), config.clone())),
             BackendKind::Warm => Box::new(WarmBackend::new(cnf, config.clone())),
         }
     }
@@ -105,31 +143,39 @@ impl std::str::FromStr for BackendKind {
 }
 
 /// The fresh-solver backend: builds a new [`Solver`] for every cube.
-pub struct FreshBackend<'a> {
-    cnf: &'a Cnf,
+pub struct FreshBackend {
+    cnf: Arc<Cnf>,
     config: SolverConfig,
 }
 
-impl<'a> FreshBackend<'a> {
+impl FreshBackend {
     /// Creates the backend over `cnf`.
     #[must_use]
-    pub fn new(cnf: &'a Cnf, config: SolverConfig) -> FreshBackend<'a> {
+    pub fn new(cnf: Arc<Cnf>, config: SolverConfig) -> FreshBackend {
         FreshBackend { cnf, config }
     }
 }
 
-impl CubeBackend for FreshBackend<'_> {
-    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome {
+impl CubeBackend for FreshBackend {
+    fn solve(
+        &mut self,
+        cube: &Cube,
+        budget: &Budget,
+        interrupt: &InterruptFlag,
+        conflict_acc: &mut [u64],
+    ) -> BackendOutcome {
         // The timer starts before the solver is built: loading the clause
         // database is part of a fresh sub-problem's cost, as in the paper.
         let start = Instant::now();
-        let mut solver = Solver::from_cnf_with_config(self.cnf, self.config.clone());
+        let mut solver = Solver::from_cnf_with_config(&self.cnf, self.config.clone());
         let verdict = solver.solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
         let elapsed = start.elapsed();
+        for (acc, &c) in conflict_acc.iter_mut().zip(solver.conflict_counts()) {
+            *acc += c;
+        }
         BackendOutcome {
             verdict,
             stats_delta: *solver.stats(),
-            conflict_delta: solver.conflict_counts().to_vec(),
             elapsed,
         }
     }
@@ -140,7 +186,8 @@ impl CubeBackend for FreshBackend<'_> {
 }
 
 /// The warm-solver backend: one persistent incremental [`Solver`] that keeps
-/// its learnt clauses and heuristic state across cubes.
+/// its learnt clauses and heuristic state across cubes — and, because the
+/// backend itself lives as long as the oracle's worker, across batches.
 pub struct WarmBackend {
     solver: Solver,
     /// Per-variable conflict participation already attributed to earlier
@@ -166,7 +213,13 @@ impl WarmBackend {
 }
 
 impl CubeBackend for WarmBackend {
-    fn solve(&mut self, cube: &Cube, budget: &Budget, interrupt: &InterruptFlag) -> BackendOutcome {
+    fn solve(
+        &mut self,
+        cube: &Cube,
+        budget: &Budget,
+        interrupt: &InterruptFlag,
+        conflict_acc: &mut [u64],
+    ) -> BackendOutcome {
         let start = Instant::now();
         let before = *self.solver.stats();
         let verdict = self
@@ -174,18 +227,25 @@ impl CubeBackend for WarmBackend {
             .solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
         let elapsed = start.elapsed();
         let stats_delta = self.solver.stats().delta_since(&before);
-        // Attribute only the *new* conflict participation to this cube.
-        let current = self.solver.conflict_counts();
-        let conflict_delta: Vec<u64> = current
-            .iter()
-            .zip(self.attributed.iter().chain(std::iter::repeat(&0)))
-            .map(|(&now, &prev)| now - prev)
-            .collect();
-        self.attributed = current.to_vec();
+        // Attribute only the *new* conflict participation to this cube, in
+        // place — no per-cube allocation. A cube decided without a single
+        // conflict (the common case once the family's lemmas are learnt)
+        // cannot have moved any per-variable counter, so the whole
+        // `num_vars`-sized scan is skipped.
+        if stats_delta.conflicts > 0 {
+            for (i, &now) in self.solver.conflict_counts().iter().enumerate() {
+                let prev = self.attributed[i];
+                if now != prev {
+                    if let Some(acc) = conflict_acc.get_mut(i) {
+                        *acc += now - prev;
+                    }
+                    self.attributed[i] = now;
+                }
+            }
+        }
         BackendOutcome {
             verdict,
             stats_delta,
-            conflict_delta,
             elapsed,
         }
     }
@@ -223,16 +283,17 @@ mod tests {
 
     #[test]
     fn fresh_backend_reports_lifetime_deltas() {
-        let cnf = chain(4);
-        let mut backend = FreshBackend::new(&cnf, SolverConfig::default());
+        let cnf = Arc::new(chain(4));
+        let mut backend = FreshBackend::new(Arc::clone(&cnf), SolverConfig::default());
         assert_eq!(backend.kind(), BackendKind::Fresh);
         let cube = Cube::from_values(&[Var::new(0)], &[true]);
         let interrupt = InterruptFlag::new();
-        let out = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+        let mut acc = vec![0u64; cnf.num_vars()];
+        let out = backend.solve(&cube, &Budget::unlimited(), &interrupt, &mut acc);
         assert!(out.verdict.is_sat());
         assert!(out.stats_delta.propagations > 0);
         // A second identical call sees an identical fresh solver.
-        let again = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+        let again = backend.solve(&cube, &Budget::unlimited(), &interrupt, &mut acc);
         assert_eq!(out.stats_delta.propagations, again.stats_delta.propagations);
         assert_eq!(out.stats_delta.conflicts, again.stats_delta.conflicts);
     }
@@ -245,9 +306,11 @@ mod tests {
         let interrupt = InterruptFlag::new();
         let set = [Var::new(0), Var::new(4)];
         let mut total_props = 0;
+        let mut acc = vec![0u64; cnf.num_vars()];
         for bits in 0..4u64 {
             let cube = Cube::from_bits(&set, bits);
-            let out = backend.solve(&cube, &Budget::unlimited(), &interrupt);
+            backend.begin_batch();
+            let out = backend.solve(&cube, &Budget::unlimited(), &interrupt, &mut acc);
             // Deltas stay cube-sized even though the solver's own counters
             // keep growing across the calls.
             assert!(out.stats_delta.propagations <= backend.solver().stats().propagations);
@@ -258,5 +321,7 @@ mod tests {
         let attributed: u64 = backend.attributed.iter().sum();
         let cumulative: u64 = backend.solver().conflict_counts().iter().sum();
         assert_eq!(attributed, cumulative);
+        // The caller-side accumulator saw exactly the cumulative counts too.
+        assert_eq!(acc.iter().sum::<u64>(), cumulative);
     }
 }

@@ -1,0 +1,274 @@
+//! The persistent worker pool of a [`CubeOracle`](super::CubeOracle).
+//!
+//! PDSAT keeps its MiniSat worker *processes* alive for the whole run and
+//! streams sub-problems to them; re-creating a worker per search-space point
+//! would throw away every learnt clause and pay thread/solver start-up on
+//! each of the thousands of `F(χ)` evaluations. This module is the
+//! thread-level equivalent: `num_workers` OS threads are spawned once when
+//! the oracle is built, each thread builds and *owns* one
+//! [`CubeBackend`](super::CubeBackend) instance for its entire lifetime, and
+//! batches are fed to the pool as chunked jobs over per-worker channels.
+//!
+//! Per batch, each participating worker drains its own contiguous *stripe*
+//! of the cube list chunk-by-chunk through an atomic cursor, then steals
+//! chunks from other workers' stripes — sticky assignment keeps each
+//! resident warm solver re-seeing the cubes it already learned, stealing
+//! keeps skewed families balanced. Workers accumulate per-variable conflict
+//! counts and solver-statistics deltas *locally* and send exactly one
+//! [`WorkerReport`] back when the batch is drained — so the channel carries
+//! `num_workers` messages per batch instead of one `num_vars`-sized vector
+//! per cube. Workers park on their job channel between batches and exit when
+//! the oracle (and with it the job senders) is dropped.
+
+use super::backend::BackendKind;
+use super::{finish_outcome, CubeOutcome, VerdictSummary};
+use crate::CostMetric;
+use pdsat_cnf::{Cnf, Cube};
+use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One worker's contiguous slice of the batch, drained chunk by chunk
+/// through an atomic cursor (so idle workers can steal from it).
+struct Stripe {
+    cursor: AtomicUsize,
+    end: usize,
+}
+
+/// Everything the workers share about one batch in flight.
+pub(super) struct BatchShared {
+    /// The cubes of the batch (owned, so the pool threads can outlive the
+    /// caller's borrow).
+    pub cubes: Vec<Cube>,
+    /// One stripe per participating worker. Worker `i` drains stripe `i`
+    /// first and only then steals chunks from other stripes, so in the
+    /// steady state (balanced stripes, no stealing) the *same* resident
+    /// backend sees the *same* cubes batch after batch — warm-solver
+    /// locality that a single global cursor would reshuffle on every batch.
+    stripes: Vec<Stripe>,
+    /// Number of cube indices a worker claims per cursor increment.
+    chunk: usize,
+    /// Per-cube resource budget.
+    pub budget: Budget,
+    /// Cost metric recorded per cube.
+    pub cost: CostMetric,
+    /// Whether models of satisfiable cubes are kept.
+    pub collect_models: bool,
+    /// Stop claiming cubes once the interrupt is raised.
+    pub stop_on_sat: bool,
+    /// The batch-wide interrupt flag fanned out to every worker.
+    pub interrupt: InterruptFlag,
+}
+
+impl BatchShared {
+    pub(super) fn new(
+        cubes: Vec<Cube>,
+        active_workers: usize,
+        budget: Budget,
+        cost: CostMetric,
+        collect_models: bool,
+        stop_on_sat: bool,
+        interrupt: InterruptFlag,
+    ) -> BatchShared {
+        let active = active_workers.max(1);
+        let stripes = (0..active)
+            .map(|i| Stripe {
+                cursor: AtomicUsize::new(i * cubes.len() / active),
+                end: (i + 1) * cubes.len() / active,
+            })
+            .collect();
+        // Chunks amortize cursor traffic while staying small enough that
+        // stealing still balances skewed per-cube costs (and that
+        // `stop_on_sat` is observed promptly: the flag is re-checked before
+        // every cube, so a chunk bounds only the claimed-but-unsolved tail).
+        let chunk = (cubes.len() / (active * 8)).clamp(1, 32);
+        BatchShared {
+            cubes,
+            stripes,
+            chunk,
+            budget,
+            cost,
+            collect_models,
+            stop_on_sat,
+            interrupt,
+        }
+    }
+
+    /// Claims the next chunk of cube indices for worker `slot` — from its
+    /// own stripe while that lasts, then from the other stripes — or `None`
+    /// when the whole batch is drained.
+    fn claim(&self, slot: usize) -> Option<std::ops::Range<usize>> {
+        let stripes = self.stripes.len();
+        for offset in 0..stripes {
+            let stripe = &self.stripes[(slot + offset) % stripes];
+            let start = stripe.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start < stripe.end {
+                return Some(start..(start + self.chunk).min(stripe.end));
+            }
+        }
+        None
+    }
+}
+
+/// One worker's aggregate result for one batch: outcomes of every cube it
+/// solved, plus its locally accumulated conflict counts and stats deltas,
+/// merged by the oracle once per batch.
+pub(super) struct WorkerReport {
+    pub outcomes: Vec<CubeOutcome>,
+    pub conflict_totals: Vec<u64>,
+    pub stats: SolverStats,
+}
+
+/// The long-lived worker threads of one oracle.
+///
+/// Dropping the pool drops the job senders, which unparks every worker out
+/// of its `recv` loop; the threads are then joined so backend destructors
+/// run before the oracle's drop completes.
+pub(super) struct WorkerPool {
+    job_txs: Vec<mpsc::Sender<Arc<BatchShared>>>,
+    result_rx: mpsc::Receiver<WorkerReport>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `num_workers` threads, each building one `backend` instance
+    /// over `cnf` that lives until the pool is dropped. Backend construction
+    /// happens *on* the worker threads, so e.g. warm solvers load the clause
+    /// database concurrently.
+    pub(super) fn spawn(
+        cnf: &Arc<Cnf>,
+        backend: BackendKind,
+        solver_config: &SolverConfig,
+        num_workers: usize,
+    ) -> WorkerPool {
+        let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
+        let mut job_txs = Vec::with_capacity(num_workers);
+        let mut handles = Vec::with_capacity(num_workers);
+        for slot in 0..num_workers {
+            let (job_tx, job_rx) = mpsc::channel::<Arc<BatchShared>>();
+            let result_tx = result_tx.clone();
+            let cnf = Arc::clone(cnf);
+            let solver_config = solver_config.clone();
+            handles.push(std::thread::spawn(move || {
+                let num_vars = cnf.num_vars();
+                let mut backend = backend.build(&cnf, &solver_config);
+                while let Ok(shared) = job_rx.recv() {
+                    backend.begin_batch();
+                    let mut report = WorkerReport {
+                        outcomes: Vec::new(),
+                        conflict_totals: vec![0; num_vars],
+                        stats: SolverStats::default(),
+                    };
+                    // Jobs are dispatched to the first `active` workers in
+                    // slot order, so this worker's pool index is its stripe
+                    // slot.
+                    'batch: while let Some(range) = shared.claim(slot) {
+                        for index in range {
+                            if shared.stop_on_sat && shared.interrupt.is_raised() {
+                                break 'batch;
+                            }
+                            let raw = backend.solve(
+                                &shared.cubes[index],
+                                &shared.budget,
+                                &shared.interrupt,
+                                &mut report.conflict_totals,
+                            );
+                            report.stats.absorb(&raw.stats_delta);
+                            let outcome =
+                                finish_outcome(index, raw, shared.cost, shared.collect_models);
+                            if shared.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
+                                shared.interrupt.raise();
+                            }
+                            report.outcomes.push(outcome);
+                        }
+                    }
+                    if result_tx.send(report).is_err() {
+                        break; // the oracle is gone
+                    }
+                }
+            }));
+            job_txs.push(job_tx);
+        }
+        WorkerPool {
+            job_txs,
+            result_rx,
+            handles,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub(super) fn size(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Dispatches one batch to the pool and blocks until every participating
+    /// worker has reported back.
+    ///
+    /// Jobs are handed to `min(pool size, cubes)` workers — a batch smaller
+    /// than the pool never wakes the surplus threads, and the drain below
+    /// waits for exactly the number of jobs dispatched, so a short batch can
+    /// never deadlock the channel. The caller guarantees the batch is
+    /// non-empty.
+    pub(super) fn run_batch(
+        &self,
+        shared: &Arc<BatchShared>,
+        outcomes: &mut Vec<CubeOutcome>,
+        totals: &mut [u64],
+        stats: &mut SolverStats,
+    ) {
+        let active = self.size().min(shared.cubes.len());
+        debug_assert!(active > 0, "empty batches are handled by the oracle");
+        for tx in &self.job_txs[..active] {
+            tx.send(Arc::clone(shared))
+                .expect("worker thread exited while the oracle is alive");
+        }
+        for _ in 0..active {
+            let report = self.recv_report();
+            for (t, &c) in totals.iter_mut().zip(&report.conflict_totals) {
+                *t += c;
+            }
+            stats.absorb(&report.stats);
+            outcomes.extend(report.outcomes);
+        }
+    }
+
+    /// Receives one worker report, turning a dead worker into a panic on the
+    /// calling thread instead of a silent hang.
+    ///
+    /// A worker that panics mid-batch drops only *its* clone of the result
+    /// sender; the remaining parked workers keep the channel open, so a
+    /// plain `recv` would block forever on the report that will never come
+    /// (the old scoped-thread executor re-raised worker panics at the scope
+    /// boundary — this is the pool's equivalent). A finished thread while
+    /// the pool is alive is always abnormal: workers only return when the
+    /// job senders are dropped, which happens in `Drop`.
+    fn recv_report(&self) -> WorkerReport {
+        loop {
+            match self.result_rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(report) => return report,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.handles.iter().any(JoinHandle::is_finished),
+                        "oracle worker thread died mid-batch (backend panic?)"
+                    );
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("all oracle worker threads died mid-batch");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_txs.clear(); // hang up: workers fall out of `recv`
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already surfaced its error through the
+            // failed channel operations; nothing more to propagate here.
+            let _ = handle.join();
+        }
+    }
+}

@@ -92,7 +92,11 @@ impl PointEvaluation {
 /// Evaluator of the predictive function for a fixed SAT instance.
 ///
 /// The evaluator is a [`CubeOracle`] client: every sampled sub-problem goes
-/// through the oracle's worker pool and configured backend. It accumulates
+/// through the oracle's *persistent* worker pool and configured backend —
+/// the pool threads and their backends are created once when the evaluator
+/// is built and survive across every point evaluation, so with
+/// [`BackendKind::Warm`] the learnt clauses and VSIDS state accumulated at
+/// one search-space point keep paying off at the next. It accumulates
 /// per-variable conflict activity over everything it solves (the tabu search
 /// uses that activity to pick new neighbourhood centres, §3 of the paper) and
 /// shares the oracle's memoizing point cache through
@@ -123,7 +127,7 @@ impl PointEvaluation {
 /// ```
 #[derive(Debug)]
 pub struct Evaluator {
-    oracle: CubeOracle<'static>,
+    oracle: CubeOracle,
     config: EvaluatorConfig,
     evaluations: u64,
     conflict_activity: Vec<u64>,
@@ -143,6 +147,7 @@ impl Evaluator {
             collect_models: true,
             stop_on_sat: false,
             backend: config.backend,
+            ..BatchConfig::default()
         };
         Evaluator {
             oracle: CubeOracle::new(cnf, batch_config),
@@ -167,7 +172,7 @@ impl Evaluator {
 
     /// The oracle every sampled sub-problem routes through.
     #[must_use]
-    pub fn oracle(&self) -> &CubeOracle<'static> {
+    pub fn oracle(&self) -> &CubeOracle {
         &self.oracle
     }
 

@@ -7,10 +7,9 @@
 //! solve paths — the Monte Carlo [`Evaluator`](crate::Evaluator), solving
 //! mode and this shim — behind one backend API. New code should construct a
 //! [`CubeOracle`](crate::CubeOracle) directly; the oracle keeps aggregate
-//! statistics and a memoized point cache across batches, which a one-shot
-//! call here throws away. (Worker backends — including warm solvers — are
-//! built per batch either way; warm state persists across the cubes of one
-//! batch, not across batches.)
+//! statistics, a memoized point cache, its persistent worker pool and the
+//! pool's resident backends across batches — warm solver state included —
+//! all of which a one-shot call here throws away.
 
 pub use crate::oracle::{BatchConfig, BatchResult, CubeOutcome, VerdictSummary};
 use crate::CubeOracle;
@@ -31,7 +30,7 @@ pub fn solve_cube_batch(
     config: &BatchConfig,
     external_interrupt: Option<&InterruptFlag>,
 ) -> BatchResult {
-    CubeOracle::borrowed(cnf, config.clone()).solve_batch(cubes, external_interrupt)
+    CubeOracle::new(cnf, config.clone()).solve_batch(cubes, external_interrupt)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! was encountered.
 
 use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
-use crate::{CostMetric, DecompositionSet};
+use crate::{BatchResult, CostMetric, DecompositionSet};
 use pdsat_cnf::{Assignment, Cnf, Cube};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
 use serde::{Deserialize, Serialize};
@@ -98,7 +98,81 @@ mod duration_secs {
     }
 }
 
+/// A long-lived solving-mode runner: one [`CubeOracle`] — and therefore one
+/// persistent worker pool with resident backends — reused across every
+/// family (or family slice) it processes.
+///
+/// [`solve_family`] / [`solve_cubes`] construct a throwaway `FamilySolver`
+/// per call, which re-pays pool spawn and backend construction (clause-DB
+/// loading) every time. Callers that process several families of the same
+/// formula — the Table 3 instance series, the benches, SAT@home simulations —
+/// should hold one `FamilySolver` instead, exactly like PDSAT keeps its
+/// MiniSat worker processes alive between search-space points.
+#[derive(Debug)]
+pub struct FamilySolver {
+    oracle: CubeOracle,
+}
+
+impl FamilySolver {
+    /// Creates the runner, spawning the worker pool and building one backend
+    /// per worker up front.
+    #[must_use]
+    pub fn new(cnf: &Cnf, config: &SolveModeConfig) -> FamilySolver {
+        let batch_config = BatchConfig {
+            solver_config: config.solver_config.clone(),
+            budget: config.budget.clone(),
+            cost: config.cost,
+            num_workers: config.num_workers,
+            collect_models: true,
+            stop_on_sat: config.stop_on_sat,
+            backend: config.backend,
+            ..BatchConfig::default()
+        };
+        FamilySolver {
+            oracle: CubeOracle::new(cnf, batch_config),
+        }
+    }
+
+    /// The oracle (for aggregate statistics across the families processed).
+    #[must_use]
+    pub fn oracle(&self) -> &CubeOracle {
+        &self.oracle
+    }
+
+    /// Processes the full decomposition family `Δ_C(X̃)` induced by `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than 63 variables (a family of that size
+    /// cannot be enumerated; that regime is precisely what the Monte Carlo
+    /// estimator is for).
+    pub fn solve_family(
+        &mut self,
+        set: &DecompositionSet,
+        interrupt: Option<&InterruptFlag>,
+    ) -> SolveReport {
+        let cubes: Vec<Cube> = set.cubes().collect();
+        self.solve_cubes(set, &cubes, interrupt)
+    }
+
+    /// Processes an explicit list of cubes (a slice of a family, or a family
+    /// filtered by external knowledge).
+    pub fn solve_cubes(
+        &mut self,
+        set: &DecompositionSet,
+        cubes: &[Cube],
+        interrupt: Option<&InterruptFlag>,
+    ) -> SolveReport {
+        report_from_batch(set, self.oracle.solve_batch(cubes, interrupt))
+    }
+}
+
 /// Processes the full decomposition family `Δ_C(X̃)` induced by `set`.
+///
+/// One-shot form: copies the formula, spawns the worker pool and builds the
+/// backends per call, and tears all of it down on return. See
+/// [`FamilySolver`] for the persistent form that amortizes that setup over
+/// many families.
 ///
 /// # Panics
 ///
@@ -117,7 +191,8 @@ pub fn solve_family(
 }
 
 /// Processes an explicit list of cubes (a slice of a family, or a family
-/// filtered by external knowledge).
+/// filtered by external knowledge). One-shot form of
+/// [`FamilySolver::solve_cubes`].
 #[must_use]
 pub fn solve_cubes(
     cnf: &Cnf,
@@ -126,17 +201,11 @@ pub fn solve_cubes(
     config: &SolveModeConfig,
     interrupt: Option<&InterruptFlag>,
 ) -> SolveReport {
-    let batch_config = BatchConfig {
-        solver_config: config.solver_config.clone(),
-        budget: config.budget.clone(),
-        cost: config.cost,
-        num_workers: config.num_workers,
-        collect_models: true,
-        stop_on_sat: config.stop_on_sat,
-        backend: config.backend,
-    };
-    let batch = CubeOracle::borrowed(cnf, batch_config).solve_batch(cubes, interrupt);
+    FamilySolver::new(cnf, config).solve_cubes(set, cubes, interrupt)
+}
 
+/// Folds a [`BatchResult`] into the solving-mode report.
+fn report_from_batch(set: &DecompositionSet, batch: BatchResult) -> SolveReport {
     let mut total_cost = 0.0;
     let mut cost_to_first_sat = None;
     let mut first_sat_index = None;

@@ -73,6 +73,12 @@ impl TabuSearch {
 
     /// Runs the minimization from `start` over `space`.
     ///
+    /// The evaluator should be long-lived (ideally shared with other
+    /// searches over the same instance): it owns the oracle's persistent
+    /// worker pool, so every point evaluation reuses the same resident
+    /// backends batch after batch, and the memoized point cache answers
+    /// points another search already paid for.
+    ///
     /// # Panics
     ///
     /// Panics if `start` has a different dimension than `space` or if the

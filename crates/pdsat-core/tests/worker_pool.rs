@@ -1,0 +1,259 @@
+//! Integration tests for the oracle's persistent worker pool: sequential vs
+//! pool parity, warm-state survival across batches, the `stop_on_sat`
+//! contract, and the empty/short-batch edge cases.
+
+use pdsat_cnf::{Cnf, Cube, Lit, Var};
+use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet};
+use pdsat_solver::InterruptFlag;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Unsatisfiable pigeonhole formula (`pigeons` pigeons, `pigeons - 1` holes):
+/// conflict-heavy, so learnt-clause carryover is observable in the counters.
+fn pigeonhole(pigeons: usize) -> Cnf {
+    let holes = pigeons - 1;
+    let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+    let mut cnf = Cnf::new(pigeons * holes);
+    for i in 0..pigeons {
+        cnf.add_clause((0..holes).map(|j| var(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                cnf.add_clause([!var(i1, j), !var(i2, j)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// A chain formula `x0 → x1 → … → x_{n-1}` — every cube except
+/// `(first=1, last=0)` is satisfiable.
+fn sat_chain(n: usize) -> Cnf {
+    let mut cnf = Cnf::new(n);
+    for i in 0..n - 1 {
+        cnf.add_clause([
+            Lit::negative(Var::new(i as u32)),
+            Lit::positive(Var::new(i as u32 + 1)),
+        ]);
+    }
+    cnf
+}
+
+#[test]
+fn sequential_and_pool_runs_are_identical_for_fresh_backends() {
+    // A fresh solver per cube makes every observation independent of
+    // scheduling, so a fixed random sample must produce bit-identical
+    // results whichever executor ran it.
+    let cnf = pigeonhole(6);
+    let set = DecompositionSet::new((0..5).map(Var::new));
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let cubes = set.random_sample(24, &mut rng);
+
+    let run = |workers: usize| {
+        let config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            backend: BackendKind::Fresh,
+            num_workers: workers,
+            // Force a real pool even on single-core test machines.
+            clamp_workers_to_cpus: false,
+            ..BatchConfig::default()
+        };
+        CubeOracle::new(&cnf, config).solve_batch(&cubes, None)
+    };
+    let seq = run(1);
+    let par = run(4);
+
+    assert_eq!(seq.outcomes.len(), par.outcomes.len());
+    for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+        // Identical ordering and identical per-cube observations.
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.conflicts, b.conflicts);
+    }
+    assert_eq!(seq.var_conflict_totals, par.var_conflict_totals);
+    assert_eq!(seq.solver_stats.conflicts, par.solver_stats.conflicts);
+    assert_eq!(seq.solver_stats.propagations, par.solver_stats.propagations);
+    assert_eq!(seq.solver_stats.decisions, par.solver_stats.decisions);
+}
+
+#[test]
+fn warm_pool_state_survives_across_batches() {
+    // The regression this PR fixes: with `num_workers > 1`, warm backends
+    // used to be rebuilt per batch, throwing away every learnt clause at
+    // each point evaluation. With the persistent pool, the second identical
+    // batch must be cheaper than the first — the workers' resident solvers
+    // already hold learnt clauses that refute (parts of) the family.
+    let cnf = pigeonhole(7);
+    let set = DecompositionSet::new((0..4).map(Var::new));
+    let cubes: Vec<Cube> = set.cubes().collect();
+    let config = BatchConfig {
+        cost: CostMetric::Conflicts,
+        backend: BackendKind::Warm,
+        num_workers: 4,
+        clamp_workers_to_cpus: false,
+        ..BatchConfig::default()
+    };
+    let mut oracle = CubeOracle::new(&cnf, config);
+
+    let first = oracle.solve_batch(&cubes, None);
+    let second = oracle.solve_batch(&cubes, None);
+
+    assert_eq!(first.outcomes.len(), cubes.len());
+    assert_eq!(second.outcomes.len(), cubes.len());
+    assert!(
+        first.solver_stats.conflicts > 0,
+        "the family must be conflict-heavy for this test to mean anything"
+    );
+    assert!(
+        second.solver_stats.conflicts < first.solver_stats.conflicts,
+        "warm state did not survive the batch boundary: second batch cost \
+         {} conflicts vs {} for the first",
+        second.solver_stats.conflicts,
+        first.solver_stats.conflicts
+    );
+    // Verdicts are unaffected by the carryover.
+    assert_eq!(first.verdict_counts(), second.verdict_counts());
+}
+
+#[test]
+fn warm_sequential_state_also_survives_across_batches() {
+    // The 1-worker path keeps its single resident backend across batches too.
+    let cnf = pigeonhole(7);
+    let set = DecompositionSet::new((0..4).map(Var::new));
+    let cubes: Vec<Cube> = set.cubes().collect();
+    let config = BatchConfig {
+        cost: CostMetric::Conflicts,
+        backend: BackendKind::Warm,
+        num_workers: 1,
+        ..BatchConfig::default()
+    };
+    let mut oracle = CubeOracle::new(&cnf, config);
+    let first = oracle.solve_batch(&cubes, None);
+    let second = oracle.solve_batch(&cubes, None);
+    assert!(first.solver_stats.conflicts > 0);
+    assert!(second.solver_stats.conflicts < first.solver_stats.conflicts);
+}
+
+#[test]
+fn stop_on_sat_reports_every_solved_cube_on_both_paths() {
+    // Contract (see BatchResult docs): with stop_on_sat, outcomes are
+    // exactly the cubes solved before the stop was observed — sorted by
+    // index, none dropped — and the batch stats cover exactly those
+    // outcomes. Sequentially the outcomes form a prefix.
+    let cnf = sat_chain(10);
+    let set = DecompositionSet::new((0..4).map(Var::new));
+    let cubes: Vec<Cube> = set.cubes().collect();
+    for workers in [1usize, 4] {
+        let config = BatchConfig {
+            cost: CostMetric::Conflicts,
+            stop_on_sat: true,
+            num_workers: workers,
+            clamp_workers_to_cpus: false,
+            ..BatchConfig::default()
+        };
+        let flag = InterruptFlag::new();
+        let result = CubeOracle::new(&cnf, config).solve_batch(&cubes, Some(&flag));
+
+        assert!(
+            flag.is_raised(),
+            "workers={workers}: SAT must raise the flag"
+        );
+        assert!(result.first_sat().is_some(), "workers={workers}");
+        // Sorted by index, no duplicates.
+        for pair in result.outcomes.windows(2) {
+            assert!(pair[0].index < pair[1].index, "workers={workers}");
+        }
+        // Every reported outcome was fully solved: the aggregate conflict
+        // counter equals the sum over reported outcomes (nothing was
+        // half-counted or silently dropped).
+        let outcome_conflicts: u64 = result.outcomes.iter().map(|o| o.conflicts).sum();
+        assert_eq!(
+            outcome_conflicts, result.solver_stats.conflicts,
+            "workers={workers}: stats must cover exactly the reported outcomes"
+        );
+        if workers == 1 {
+            // Single worker: the reported outcomes are a prefix of the batch.
+            for (i, o) in result.outcomes.iter().enumerate() {
+                assert_eq!(o.index, i, "sequential outcomes must form a prefix");
+            }
+        }
+    }
+}
+
+#[test]
+fn pre_raised_external_interrupt_stops_both_paths_before_any_work() {
+    let cnf = sat_chain(8);
+    let set = DecompositionSet::new((0..3).map(Var::new));
+    let cubes: Vec<Cube> = set.cubes().collect();
+    for workers in [1usize, 4] {
+        let config = BatchConfig {
+            stop_on_sat: true,
+            num_workers: workers,
+            clamp_workers_to_cpus: false,
+            ..BatchConfig::default()
+        };
+        let flag = InterruptFlag::new();
+        flag.raise();
+        let result = CubeOracle::new(&cnf, config).solve_batch(&cubes, Some(&flag));
+        assert!(
+            result.outcomes.is_empty(),
+            "workers={workers}: no cube may start under a pre-raised stop flag"
+        );
+        assert_eq!(result.solver_stats.conflicts, 0);
+    }
+}
+
+#[test]
+fn empty_batches_and_short_batches_never_hang_the_pool() {
+    let cnf = pigeonhole(5);
+    let config = BatchConfig {
+        cost: CostMetric::Conflicts,
+        num_workers: 6,
+        clamp_workers_to_cpus: false,
+        ..BatchConfig::default()
+    };
+    let mut oracle = CubeOracle::new(&cnf, config);
+    assert_eq!(oracle.num_workers(), 6);
+
+    // Empty batch: immediate, counted, pool untouched.
+    let empty = oracle.solve_batch(&[], None);
+    assert!(empty.outcomes.is_empty());
+    assert_eq!(empty.var_conflict_totals.len(), cnf.num_vars());
+
+    // Fewer cubes than workers: dispatch is clamped, drain terminates, all
+    // outcomes arrive.
+    let set = DecompositionSet::new([Var::new(0), Var::new(1)]);
+    let cubes: Vec<Cube> = set.cubes().collect(); // 4 cubes < 6 workers
+    let short = oracle.solve_batch(&cubes, None);
+    assert_eq!(short.outcomes.len(), 4);
+
+    // Alternating empty and non-empty batches keeps working (the pool's
+    // job/report channels stay balanced).
+    let empty_again = oracle.solve_batch(&[], None);
+    assert!(empty_again.outcomes.is_empty());
+    let full = oracle.solve_batch(&cubes, None);
+    assert_eq!(full.outcomes.len(), 4);
+    assert_eq!(oracle.batches(), 4);
+    assert_eq!(oracle.cubes_solved(), 8);
+}
+
+#[test]
+fn single_cube_batches_on_a_wide_pool_stay_in_order() {
+    // Degenerate chunking: 1 cube, many workers, many consecutive batches.
+    let cnf = sat_chain(5);
+    let cube = Cube::from_values(&[Var::new(0)], &[true]);
+    let config = BatchConfig {
+        num_workers: 8,
+        clamp_workers_to_cpus: false,
+        ..BatchConfig::default()
+    };
+    let mut oracle = CubeOracle::new(&cnf, config);
+    for _ in 0..10 {
+        let result = oracle.solve_batch(std::slice::from_ref(&cube), None);
+        assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes[0].index, 0);
+    }
+    assert_eq!(oracle.cubes_solved(), 10);
+}
