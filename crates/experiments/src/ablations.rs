@@ -10,8 +10,8 @@
 use crate::scaled::ScaledWorkload;
 use crate::text_table::{sci, TextTable};
 use pdsat_core::{
-    AnnealingConfig, Evaluator, EvaluatorConfig, NewCenterHeuristic, SearchLimits,
-    SimulatedAnnealing, TabuConfig, TabuSearch,
+    Annealing, AnnealingConfig, DriverConfig, Evaluator, EvaluatorConfig, NewCenterHeuristic,
+    RandomRestart, RandomRestartConfig, SearchDriver, SearchLimits, Tabu, TabuConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -72,7 +72,7 @@ impl AblationResult {
         let mut out = Vec::new();
 
         let mut t1 = TextTable::new(
-            "Ablation A: simulated annealing vs tabu search (same point budget)",
+            "Ablation A: search strategies under the same point budget",
             &["Algorithm", "Points", "Best F", "|X̃best|", "Wall s"],
         );
         for row in &self.metaheuristics {
@@ -124,17 +124,20 @@ pub fn run_ablations(workload: &ScaledWorkload) -> AblationResult {
     let space = workload.search_space(&instance);
     let start = space.full_point();
 
-    // --- Ablation A: SA vs tabu under the same point budget. -----------------
+    // --- Ablation A: the three strategies under the same point budget. -------
+    // One driver, three exchangeable strategies (each with a fresh evaluator
+    // so the comparison is not contaminated by cross-search memoization).
     let limits = SearchLimits::unlimited().with_max_points(workload.search_points);
+    let driver = SearchDriver::new(DriverConfig {
+        limits: limits.clone(),
+        seed: workload.seed,
+        ..DriverConfig::default()
+    });
     let mut metaheuristics = Vec::new();
     {
         let mut evaluator = workload.evaluator(&instance);
-        let sa = SimulatedAnnealing::new(AnnealingConfig {
-            limits: limits.clone(),
-            seed: workload.seed,
-            ..AnnealingConfig::default()
-        });
-        let outcome = sa.minimize(&space, &start, &mut evaluator);
+        let mut annealing = Annealing::new(&AnnealingConfig::default());
+        let outcome = driver.run(&space, &start, &mut annealing, &mut evaluator);
         metaheuristics.push(MetaheuristicComparison {
             algorithm: "simulated annealing".to_string(),
             points: outcome.points_evaluated,
@@ -145,14 +148,22 @@ pub fn run_ablations(workload: &ScaledWorkload) -> AblationResult {
     }
     {
         let mut evaluator = workload.evaluator(&instance);
-        let tabu = TabuSearch::new(TabuConfig {
-            limits: limits.clone(),
-            seed: workload.seed,
-            ..TabuConfig::default()
-        });
-        let outcome = tabu.minimize(&space, &start, &mut evaluator);
+        let mut tabu = Tabu::new(&TabuConfig::default());
+        let outcome = driver.run(&space, &start, &mut tabu, &mut evaluator);
         metaheuristics.push(MetaheuristicComparison {
             algorithm: "tabu search".to_string(),
+            points: outcome.points_evaluated,
+            best_value: outcome.best_value,
+            best_set_size: outcome.best_set.len(),
+            wall_seconds: outcome.wall_time.as_secs_f64(),
+        });
+    }
+    {
+        let mut evaluator = workload.evaluator(&instance);
+        let mut restart = RandomRestart::new(RandomRestartConfig::default());
+        let outcome = driver.run(&space, &start, &mut restart, &mut evaluator);
+        metaheuristics.push(MetaheuristicComparison {
+            algorithm: "random restart (batched)".to_string(),
             points: outcome.points_evaluated,
             best_value: outcome.best_value,
             best_set_size: outcome.best_set.len(),
@@ -207,13 +218,11 @@ pub fn run_ablations(workload: &ScaledWorkload) -> AblationResult {
         ("random", NewCenterHeuristic::Random),
     ] {
         let mut evaluator = workload.evaluator(&instance);
-        let tabu = TabuSearch::new(TabuConfig {
+        let mut tabu = Tabu::new(&TabuConfig {
             new_center: heuristic,
-            limits: limits.clone(),
-            seed: workload.seed,
             ..TabuConfig::default()
         });
-        let outcome = tabu.minimize(&space, &start, &mut evaluator);
+        let outcome = driver.run(&space, &start, &mut tabu, &mut evaluator);
         new_center.push(NewCenterEffect {
             heuristic: name.to_string(),
             best_value: outcome.best_value,
@@ -239,7 +248,7 @@ mod tests {
         workload.sample_size = 8;
         workload.search_points = 6;
         let result = run_ablations(&workload);
-        assert_eq!(result.metaheuristics.len(), 2);
+        assert_eq!(result.metaheuristics.len(), 3);
         assert_eq!(result.sample_sizes.len(), 4);
         assert_eq!(result.new_center.len(), 3);
         for row in &result.metaheuristics {

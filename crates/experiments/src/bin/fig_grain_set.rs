@@ -1,7 +1,7 @@
 //! Regenerates Figure 4 of the paper: the Grain decomposition set found by
 //! PDSAT drawn over the NFSR and LFSR.
 
-use pdsat_core::{SearchLimits, TabuConfig, TabuSearch};
+use pdsat_core::{DriverConfig, SearchDriver, SearchLimits, Tabu, TabuConfig};
 use pdsat_experiments::figures::render_instance_decomposition;
 use pdsat_experiments::{CipherKind, ScaledWorkload};
 
@@ -10,12 +10,13 @@ fn main() {
     let instance = workload.build_instance();
     let space = workload.search_space(&instance);
     let mut evaluator = workload.evaluator(&instance);
-    let tabu = TabuSearch::new(TabuConfig {
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(workload.search_points),
         seed: workload.seed,
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
 
     let figure = render_instance_decomposition(
         &format!(

@@ -11,7 +11,9 @@
 
 use crate::scaled::{a51_manual_reference_set, CipherKind, ScaledWorkload};
 use crate::text_table::{sci, TextTable};
-use pdsat_core::{solve_family, SearchLimits, SolveModeConfig, TabuConfig, TabuSearch};
+use pdsat_core::{
+    solve_family, DriverConfig, SearchDriver, SearchLimits, SolveModeConfig, Tabu, TabuConfig,
+};
 use pdsat_distrib::{
     simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
     GridConfig, GridReport,
@@ -92,13 +94,14 @@ pub fn run_sathome(workload: &ScaledWorkload, hosts: usize) -> SatHomeResult {
     // The two sets the paper deployed: the manual S1 and the tabu-found S3.
     let manual = a51_manual_reference_set(&instance);
     let mut evaluator = workload.evaluator(&instance);
-    let tabu = TabuSearch::new(TabuConfig {
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(workload.search_points),
         seed: workload.seed,
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let tabu_set = tabu
-        .minimize(&space, &space.full_point(), &mut evaluator)
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let tabu_set = driver
+        .run(&space, &space.full_point(), &mut tabu, &mut evaluator)
         .best_set;
 
     let population = synthetic_host_population(hosts, workload.seed);

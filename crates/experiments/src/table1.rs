@@ -13,7 +13,8 @@ use crate::figures::render_instance_decomposition;
 use crate::scaled::{a51_manual_reference_set, CipherKind, ScaledWorkload};
 use crate::text_table::{sci, TextTable};
 use pdsat_core::{
-    AnnealingConfig, DecompositionSet, SearchLimits, SimulatedAnnealing, TabuConfig, TabuSearch,
+    Annealing, AnnealingConfig, DecompositionSet, DriverConfig, SearchDriver, SearchLimits, Tabu,
+    TabuConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -79,21 +80,22 @@ pub fn run_table1(workload: &ScaledWorkload) -> Table1Result {
     let s1 = a51_manual_reference_set(&instance);
     let s1_eval = evaluator.evaluate(&s1);
 
-    // S2: simulated annealing from X̃_start.
-    let annealing = SimulatedAnnealing::new(AnnealingConfig {
+    // One driver serves both searches (same limits, same seed); the
+    // strategies are exchangeable and the shared evaluator memoizes points
+    // across them.
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(workload.search_points),
         seed: workload.seed,
-        ..AnnealingConfig::default()
+        ..DriverConfig::default()
     });
-    let s2_outcome = annealing.minimize(&space, &space.full_point(), &mut evaluator);
+
+    // S2: simulated annealing from X̃_start.
+    let mut annealing = Annealing::new(&AnnealingConfig::default());
+    let s2_outcome = driver.run(&space, &space.full_point(), &mut annealing, &mut evaluator);
 
     // S3: tabu search from X̃_start.
-    let tabu = TabuSearch::new(TabuConfig {
-        limits: SearchLimits::unlimited().with_max_points(workload.search_points),
-        seed: workload.seed,
-        ..TabuConfig::default()
-    });
-    let s3_outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let s3_outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
 
     let rows = vec![
         Table1Row {

@@ -14,7 +14,8 @@
 use crate::scaled::{bivium_fixed_strategy_set, CipherKind, ScaledWorkload};
 use crate::text_table::{sci, TextTable};
 use pdsat_core::{
-    DecompositionSet, Evaluator, EvaluatorConfig, SearchLimits, TabuConfig, TabuSearch,
+    DecompositionSet, DriverConfig, Evaluator, EvaluatorConfig, SearchDriver, SearchLimits, Tabu,
+    TabuConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -110,12 +111,13 @@ pub fn run_table2(workload: &ScaledWorkload) -> Table2Result {
 
     // Row 3: PDSAT — tabu-optimized set with the full sample size.
     let mut evaluator = workload.evaluator(&instance);
-    let tabu = TabuSearch::new(TabuConfig {
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(workload.search_points),
         seed: workload.seed,
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
     let best_exact = exact_if_feasible(&mut evaluator, &outcome.best_set);
 
     let rows = vec![

@@ -16,7 +16,8 @@
 use crate::scaled::ScaledWorkload;
 use crate::text_table::{sci, TextTable};
 use pdsat_core::{
-    solve_family, DecompositionSet, SearchLimits, SolveModeConfig, TabuConfig, TabuSearch,
+    solve_family, DecompositionSet, DriverConfig, SearchDriver, SearchLimits, SolveModeConfig,
+    Tabu, TabuConfig,
 };
 use pdsat_distrib::{simulate_cluster, ClusterConfig};
 use serde::{Deserialize, Serialize};
@@ -161,12 +162,13 @@ pub fn run_table3(
         let mut evaluator = workload.evaluator(first);
 
         // Find X̃_best on the first instance of the series (as in the paper).
-        let tabu = TabuSearch::new(TabuConfig {
+        let driver = SearchDriver::new(DriverConfig {
             limits: SearchLimits::unlimited().with_max_points(workload.search_points),
             seed: workload.seed,
-            ..TabuConfig::default()
+            ..DriverConfig::default()
         });
-        let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+        let mut tabu = Tabu::new(&TabuConfig::default());
+        let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
         let best_set: DecompositionSet = outcome.best_set.clone();
         let f_one_core = outcome.best_value;
         let f_many_cores = f_one_core / cores as f64;

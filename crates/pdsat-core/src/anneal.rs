@@ -1,12 +1,11 @@
 //! Simulated annealing minimization of the predictive function
-//! (Algorithm 1 of the paper).
+//! (Algorithm 1 of the paper), as a [`Strategy`] for the [`SearchDriver`].
 
-use crate::search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
-use crate::{Evaluator, Point, SearchSpace};
-use rand::{Rng, SeedableRng};
+use crate::driver::{Evaluated, Observation, Proposal, SearchContext, SearchDriver, Strategy};
+use crate::search::{SearchLimits, SearchOutcome, StopCondition};
+use crate::{DriverConfig, Evaluator, Point, SearchSpace};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::time::Instant;
 
 /// How the annealing temperature is compared against the change of the
 /// predictive function.
@@ -27,6 +26,10 @@ pub enum TemperatureScale {
 }
 
 /// Parameters of Algorithm 1.
+///
+/// `limits` and `seed` are enforced by the [`SearchDriver`] (the
+/// [`Annealing`] strategy itself only reads the temperature schedule); the
+/// [`SimulatedAnnealing::minimize`] shim forwards them automatically.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnnealingConfig {
     /// Initial temperature `T₀`.
@@ -58,16 +61,149 @@ impl Default for AnnealingConfig {
     }
 }
 
-/// Simulated annealing minimizer of the predictive function.
-///
-/// Faithful to Algorithm 1: the transition `χ_i → χ_{i+1}` picks an unchecked
-/// point of the radius-`ρ` neighbourhood of the current centre, accepts
-/// improving points unconditionally and worsening points with the Metropolis
-/// probability, grows `ρ` when the whole neighbourhood is checked without an
-/// accepted transition, and cools the temperature after every evaluation.
-/// Unlike the pseudocode (which overwrites `⟨χ_best, F_best⟩` on every
-/// accepted transition, including uphill ones), the returned result is the
+/// Algorithm 1 as a [`Strategy`]: the transition `χ_i → χ_{i+1}` picks an
+/// unchecked point of the radius-`ρ` neighbourhood of the current centre,
+/// accepts improving points unconditionally and worsening points with the
+/// Metropolis probability, grows `ρ` when the whole neighbourhood is checked
+/// without an accepted transition, and cools the temperature after every
+/// evaluation. Unlike the pseudocode (which overwrites `⟨χ_best, F_best⟩` on
+/// every accepted transition, including uphill ones), the driver tracks the
 /// best point *ever evaluated* — clearly the intended output.
+///
+/// Proposals are single points (the walk is inherently sequential); batch
+/// parallelism across neighbours belongs to [`RandomRestart`](crate::RandomRestart).
+#[derive(Debug, Clone)]
+pub struct Annealing {
+    temperature: f64,
+    initial_temperature: f64,
+    cooling_factor: f64,
+    min_temperature: f64,
+    scale: TemperatureScale,
+    center: Option<Point>,
+    center_value: f64,
+    radius: usize,
+    /// The neighbourhood the last proposal was drawn from, re-checked after
+    /// a rejected transition to decide whether the radius grows.
+    last_neighborhood: Vec<Point>,
+}
+
+impl Annealing {
+    /// Creates the strategy from the temperature schedule of `config`
+    /// (`config.limits` and `config.seed` belong to the [`DriverConfig`]).
+    #[must_use]
+    pub fn new(config: &AnnealingConfig) -> Annealing {
+        Annealing {
+            temperature: config.initial_temperature,
+            initial_temperature: config.initial_temperature,
+            cooling_factor: config.cooling_factor,
+            min_temperature: config.min_temperature,
+            scale: config.scale,
+            center: None,
+            center_value: f64::INFINITY,
+            radius: 1,
+            last_neighborhood: Vec::new(),
+        }
+    }
+
+    /// The current temperature.
+    #[must_use]
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl Strategy for Annealing {
+    fn initialize(&mut self, _ctx: &mut SearchContext<'_>, start: &Evaluated) {
+        // Full reset: a strategy instance may be reused across runs.
+        self.temperature = self.initial_temperature;
+        self.center = Some(start.point.clone());
+        self.center_value = start.value;
+        self.radius = 1;
+        self.last_neighborhood.clear();
+    }
+
+    fn propose(&mut self, ctx: &mut SearchContext<'_>) -> Proposal {
+        if self.temperature < self.min_temperature {
+            return Proposal::Stop(StopCondition::TemperatureFloor);
+        }
+        let center = self
+            .center
+            .clone()
+            .expect("initialize() runs before propose()");
+        loop {
+            let neighborhood = ctx.space.neighborhood(&center, self.radius);
+            let unchecked: Vec<&Point> = neighborhood
+                .iter()
+                .filter(|p| !ctx.is_evaluated(p))
+                .collect();
+            if unchecked.is_empty() {
+                // The whole neighbourhood is checked without an accepted
+                // transition: enlarge the radius (lines 13-14 of Alg. 1).
+                if self.radius >= ctx.space.dimension() {
+                    return Proposal::Stop(StopCondition::SpaceExhausted);
+                }
+                self.radius += 1;
+                continue;
+            }
+            let candidate = unchecked[ctx.rng.gen_range(0..unchecked.len())].clone();
+            self.last_neighborhood = neighborhood;
+            return Proposal::Evaluate(vec![candidate]);
+        }
+    }
+
+    fn observe(&mut self, ctx: &mut SearchContext<'_>, results: &[Evaluated]) -> Observation {
+        assert_eq!(results.len(), 1, "annealing proposes single points");
+        let evaluated = &results[0];
+        let value = evaluated.value;
+
+        let accepted = if value < self.center_value {
+            true
+        } else {
+            let delta = match self.scale {
+                TemperatureScale::Absolute => value - self.center_value,
+                TemperatureScale::RelativeToCurrent => {
+                    if self.center_value > 0.0 {
+                        (value - self.center_value) / self.center_value
+                    } else {
+                        value - self.center_value
+                    }
+                }
+            };
+            let probability = (-delta / self.temperature).exp();
+            ctx.rng.gen_bool(probability.clamp(0.0, 1.0))
+        };
+
+        // decreaseTemperature() — after every checked point, as in the
+        // pseudocode (line 15).
+        self.temperature *= self.cooling_factor;
+
+        let mut stop = None;
+        if accepted {
+            self.center = Some(evaluated.point.clone());
+            self.center_value = value;
+            self.radius = 1;
+            if self.temperature < self.min_temperature {
+                stop = Some(StopCondition::TemperatureFloor);
+            }
+        } else {
+            let all_checked = self.last_neighborhood.iter().all(|p| ctx.is_evaluated(p));
+            if all_checked {
+                if self.radius >= ctx.space.dimension() {
+                    stop = Some(StopCondition::SpaceExhausted);
+                } else {
+                    self.radius += 1;
+                }
+            }
+        }
+        Observation {
+            accepted: vec![accepted],
+            stop,
+        }
+    }
+}
+
+/// Simulated annealing minimizer of the predictive function — the historical
+/// entry point, now a thin shim over [`SearchDriver`] + [`Annealing`].
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealing {
     config: AnnealingConfig,
@@ -89,179 +225,34 @@ impl SimulatedAnnealing {
     /// Runs the minimization from `start` over `space`, evaluating the
     /// predictive function with `evaluator`.
     ///
-    /// The evaluator should be long-lived (ideally shared with other
-    /// searches over the same instance): it owns the oracle's persistent
-    /// worker pool, so every point evaluation of this search reuses the same
-    /// resident backends — with a warm backend, lemmas learnt at one point
-    /// keep paying off at the next — and the memoized point cache answers
-    /// revisited points for free.
-    ///
     /// # Panics
     ///
     /// Panics if `start` has a different dimension than `space`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "drive an `Annealing` strategy through `SearchDriver::run` instead; \
+                this shim is kept for one release"
+    )]
     pub fn minimize(
         &self,
         space: &SearchSpace,
         start: &Point,
         evaluator: &mut Evaluator,
     ) -> SearchOutcome {
-        assert_eq!(
-            start.dimension(),
-            space.dimension(),
-            "start point must live in the search space"
-        );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
-        let begin = Instant::now();
-        let mut history: Vec<SearchStep> = Vec::new();
-        let mut evaluated: HashMap<Point, f64> = HashMap::new();
-
-        let evaluate = |point: &Point,
-                        evaluator: &mut Evaluator,
-                        evaluated: &mut HashMap<Point, f64>|
-         -> f64 {
-            if let Some(&v) = evaluated.get(point) {
-                return v;
-            }
-            let set = space.decomposition_set(point);
-            // The memoized path also answers points another search sharing
-            // the same evaluator (e.g. a preceding tabu run) already paid for.
-            let value = evaluator.evaluate_memoized(&set).value();
-            evaluated.insert(point.clone(), value);
-            value
-        };
-
-        let mut center = start.clone();
-        let mut center_value = evaluate(&center, evaluator, &mut evaluated);
-        let mut best_point = center.clone();
-        let mut best_value = center_value;
-        history.push(SearchStep {
-            index: 0,
-            point: center.clone(),
-            set_size: center.ones(),
-            value: center_value,
-            accepted: true,
-            is_best: true,
-            elapsed: begin.elapsed(),
+        let driver = SearchDriver::new(DriverConfig {
+            limits: self.config.limits.clone(),
+            seed: self.config.seed,
+            ..DriverConfig::default()
         });
-
-        let mut temperature = self.config.initial_temperature;
-        let stop;
-
-        'outer: loop {
-            let mut radius = 1usize;
-
-            'inner: loop {
-                if self.config.limits.exceeded(history.len(), begin.elapsed()) {
-                    stop = if self
-                        .config
-                        .limits
-                        .max_points
-                        .is_some_and(|m| history.len() >= m)
-                    {
-                        StopCondition::PointLimit
-                    } else {
-                        StopCondition::TimeLimit
-                    };
-                    break 'outer;
-                }
-                if temperature < self.config.min_temperature {
-                    stop = StopCondition::TemperatureFloor;
-                    break 'outer;
-                }
-
-                let neighborhood = space.neighborhood(&center, radius);
-                let unchecked: Vec<&Point> = neighborhood
-                    .iter()
-                    .filter(|p| !evaluated.contains_key(*p))
-                    .collect();
-
-                if unchecked.is_empty() {
-                    // The whole neighbourhood is checked without an accepted
-                    // transition: enlarge the radius (line 13-14 of Alg. 1).
-                    if radius >= space.dimension() {
-                        stop = StopCondition::SpaceExhausted;
-                        break 'outer;
-                    }
-                    radius += 1;
-                    continue 'inner;
-                }
-
-                let candidate = unchecked[rng.gen_range(0..unchecked.len())].clone();
-                let value = evaluate(&candidate, evaluator, &mut evaluated);
-
-                let accepted = if value < center_value {
-                    true
-                } else {
-                    let delta = match self.config.scale {
-                        TemperatureScale::Absolute => value - center_value,
-                        TemperatureScale::RelativeToCurrent => {
-                            if center_value > 0.0 {
-                                (value - center_value) / center_value
-                            } else {
-                                value - center_value
-                            }
-                        }
-                    };
-                    let probability = (-delta / temperature).exp();
-                    rng.gen_bool(probability.clamp(0.0, 1.0))
-                };
-
-                let is_best = value < best_value;
-                if is_best {
-                    best_value = value;
-                    best_point = candidate.clone();
-                }
-                history.push(SearchStep {
-                    index: history.len(),
-                    point: candidate.clone(),
-                    set_size: candidate.ones(),
-                    value,
-                    accepted,
-                    is_best,
-                    elapsed: begin.elapsed(),
-                });
-
-                // decreaseTemperature() — after every checked point, as in the
-                // pseudocode (line 15).
-                temperature *= self.config.cooling_factor;
-
-                if accepted {
-                    center = candidate;
-                    center_value = value;
-                    break 'inner;
-                }
-
-                let all_checked = neighborhood.iter().all(|p| evaluated.contains_key(p));
-                if all_checked {
-                    if radius >= space.dimension() {
-                        stop = StopCondition::SpaceExhausted;
-                        break 'outer;
-                    }
-                    radius += 1;
-                }
-            }
-
-            if temperature < self.config.min_temperature {
-                stop = StopCondition::TemperatureFloor;
-                break;
-            }
-        }
-
-        let best_set = space.decomposition_set(&best_point);
-        SearchOutcome {
-            best_point,
-            best_set,
-            best_value,
-            points_evaluated: history.len(),
-            history,
-            wall_time: begin.elapsed(),
-            stop_condition: stop,
-        }
+        let mut strategy = Annealing::new(&self.config);
+        driver.run(space, start, &mut strategy, evaluator)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{CostMetric, EvaluatorConfig};
     use pdsat_cnf::{Cnf, Lit, Var};

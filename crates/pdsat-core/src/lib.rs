@@ -14,22 +14,25 @@
 //!    uniformly random cube. The [`Evaluator`] estimates it by the Monte
 //!    Carlo method — the predictive function `F(χ)` of eq. (5) — with CLT
 //!    confidence intervals ([`PredictiveEstimate`], [`SampleStats`]).
-//! 3. **Minimization.** [`SimulatedAnnealing`] (Algorithm 1) and
-//!    [`TabuSearch`] (Algorithm 2) minimize `F` over points of a
-//!    [`SearchSpace`] — normally `2^{X̃_start}` where `X̃_start` is the Strong
-//!    UP-backdoor set of state variables.
+//! 3. **Minimization.** A unified [`SearchDriver`] minimizes `F` over points
+//!    of a [`SearchSpace`] — normally `2^{X̃_start}` where `X̃_start` is the
+//!    Strong UP-backdoor set of state variables — by driving an exchangeable
+//!    [`Strategy`]: [`Annealing`] (Algorithm 1), [`Tabu`] (Algorithm 2) or
+//!    [`RandomRestart`] (batched greedy descent with restarts). Neighborhood
+//!    proposals are lowered through [`Evaluator::evaluate_batch`] into single
+//!    oracle batches, so the worker pool parallelizes *across* points.
 //! 4. **Solving mode.** [`solve_family`] processes the whole family of the
 //!    best set found, and [`ParallelSystem`] extrapolates sequential
 //!    estimates to a cluster.
 //!
-//! All three solve paths — the [`Evaluator`], [`solve_family`] /
-//! [`solve_cubes`] / [`FamilySolver`] and ad-hoc batches — route through one
-//! [`CubeOracle`]: an executor owning a **persistent worker pool** (the
-//! stand-in for PDSAT's long-lived MPI leader/computing processes): worker
-//! threads spawned once for the oracle's lifetime, each owning one backend
-//! fed chunked jobs over channels, with per-cube budgets, interrupt fan-out,
-//! per-worker stats/conflict-count accumulation merged once per batch, and a
-//! memoizing point cache. The unit of work it schedules is an exchangeable
+//! All solve paths — the [`Evaluator`], [`solve_family`] / [`solve_cubes`] /
+//! [`FamilySolver`] and ad-hoc batches — route through one [`CubeOracle`]:
+//! an executor owning a **persistent worker pool** (the stand-in for PDSAT's
+//! long-lived MPI leader/computing processes): worker threads spawned once
+//! for the oracle's lifetime, each owning one backend fed chunked jobs over
+//! channels, with per-cube budgets, interrupt fan-out, per-worker
+//! stats/conflict-count accumulation merged once per batch, and a memoizing
+//! point cache. The unit of work it schedules is an exchangeable
 //! [`CubeBackend`]: [`BackendKind::Fresh`] builds a solver per cube
 //! (order-independent observations, what the Monte Carlo argument assumes),
 //! while [`BackendKind::Warm`] keeps one incremental solver per worker whose
@@ -41,8 +44,8 @@
 //! ```
 //! use pdsat_cnf::{Cnf, Cube, Lit, Var};
 //! use pdsat_core::{
-//!     BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet, Evaluator,
-//!     EvaluatorConfig, SearchLimits, SearchSpace, TabuConfig, TabuSearch,
+//!     BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet, DriverConfig,
+//!     Evaluator, EvaluatorConfig, SearchDriver, SearchLimits, SearchSpace, Tabu, TabuConfig,
 //! };
 //!
 //! // A toy unsatisfiable formula (pigeonhole 4→3).
@@ -75,18 +78,20 @@
 //! let batch = oracle.solve_batch(&cubes, None);
 //! assert_eq!(batch.verdict_counts(), (0, 16, 0)); // all 2^4 cubes UNSAT
 //!
-//! // Search for a good decomposition set over the first 6 variables; the
-//! // evaluator is an oracle client and memoizes revisited points.
+//! // Search for a good decomposition set over the first 6 variables: one
+//! // driver, an exchangeable strategy, an evaluator that batches whole
+//! // neighborhoods through the oracle and memoizes revisited points.
 //! let space = SearchSpace::new((0..6).map(Var::new));
 //! let mut evaluator = Evaluator::new(
 //!     &cnf,
 //!     EvaluatorConfig { sample_size: 8, cost: CostMetric::Conflicts, ..EvaluatorConfig::default() },
 //! );
-//! let tabu = TabuSearch::new(TabuConfig {
+//! let driver = SearchDriver::new(DriverConfig {
 //!     limits: SearchLimits::unlimited().with_max_points(15),
-//!     ..TabuConfig::default()
+//!     ..DriverConfig::default()
 //! });
-//! let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+//! let mut tabu = Tabu::new(&TabuConfig::default());
+//! let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
 //! assert!(outcome.best_value.is_finite());
 //! ```
 
@@ -96,19 +101,23 @@
 mod anneal;
 mod cost;
 mod decomposition;
+mod driver;
 mod estimator;
 mod extrapolate;
 mod oracle;
 mod predict;
-pub mod runner;
+mod restart;
 mod search;
 mod solve_mode;
 mod space;
 mod tabu;
 
-pub use anneal::{AnnealingConfig, SimulatedAnnealing, TemperatureScale};
+pub use anneal::{Annealing, AnnealingConfig, SimulatedAnnealing, TemperatureScale};
 pub use cost::CostMetric;
 pub use decomposition::{CubeIter, DecompositionSet};
+pub use driver::{
+    DriverConfig, Evaluated, Observation, Proposal, SearchContext, SearchDriver, Strategy,
+};
 pub use estimator::{normal_cdf, normal_quantile, PredictiveEstimate, SampleStats};
 pub use extrapolate::ParallelSystem;
 pub use oracle::{
@@ -116,9 +125,10 @@ pub use oracle::{
     FreshBackend, PointCache, VerdictSummary, WarmBackend,
 };
 pub use predict::{Evaluator, EvaluatorConfig, PointEvaluation, SampleVerdicts};
-#[allow(deprecated)]
-pub use runner::solve_cube_batch;
-pub use search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
+pub use restart::{RandomRestart, RandomRestartConfig};
+pub use search::{
+    SearchCheckpoint, SearchLimits, SearchOutcome, SearchStep, StopCondition, VisitedPoint,
+};
 pub use solve_mode::{solve_cubes, solve_family, FamilySolver, SolveModeConfig, SolveReport};
 pub use space::{Point, SearchSpace};
-pub use tabu::{NewCenterHeuristic, TabuConfig, TabuSearch};
+pub use tabu::{NewCenterHeuristic, Tabu, TabuConfig, TabuSearch};

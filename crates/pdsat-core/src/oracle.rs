@@ -15,11 +15,11 @@
 //! batch, and memoizes completed point evaluations in a [`PointCache`] so
 //! revisited decomposition points are never paid for twice.
 //!
-//! The [`Evaluator`](crate::Evaluator), [`solve_family`](crate::solve_family)
-//! / [`solve_cubes`](crate::solve_cubes) / [`FamilySolver`](crate::FamilySolver)
-//! and the deprecated [`solve_cube_batch`](crate::runner::solve_cube_batch)
-//! shim all route through here; backend selection threads through their
-//! configs as a [`BackendKind`].
+//! The [`Evaluator`](crate::Evaluator) (point-at-a-time *and* batched
+//! neighborhood evaluation) and [`solve_family`](crate::solve_family) /
+//! [`solve_cubes`](crate::solve_cubes) / [`FamilySolver`](crate::FamilySolver)
+//! all route through here; backend selection threads through their configs
+//! as a [`BackendKind`].
 
 mod backend;
 mod cache;

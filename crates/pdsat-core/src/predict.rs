@@ -1,7 +1,7 @@
 //! The predictive function `F_{C,A}(X̃)` (eq. (5) of the paper) and its
 //! evaluator.
 
-use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
+use crate::oracle::{BackendKind, BatchConfig, CubeOracle, CubeOutcome, VerdictSummary};
 use crate::{CostMetric, DecompositionSet, PredictiveEstimate};
 use pdsat_cnf::{Assignment, Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
@@ -273,31 +273,114 @@ impl Evaluator {
         self.evaluations += 1;
         self.total_solve_wall += batch.wall_time;
 
-        let observations: Vec<f64> = batch.costs().collect();
-        let estimate = PredictiveEstimate::from_observations(set.len(), &observations);
-        let mut verdicts = SampleVerdicts::default();
-        let mut model = None;
-        for outcome in &batch.outcomes {
-            match outcome.verdict {
-                VerdictSummary::Sat => {
-                    verdicts.sat += 1;
-                    if model.is_none() {
-                        model = outcome.model.clone();
-                    }
-                }
-                VerdictSummary::Unsat => verdicts.unsat += 1,
-                VerdictSummary::Unknown => verdicts.unknown += 1,
+        summarize_outcomes(set, &batch.outcomes, batch.wall_time)
+    }
+
+    /// Evaluates the predictive function at every set of `sets` with fresh
+    /// random samples, lowering the whole neighborhood into **one**
+    /// [`CubeOracle`] batch: one sample plan per point, concatenated and
+    /// dispatched to the oracle's persistent worker pool in a single call.
+    ///
+    /// Compared to a per-point loop over [`evaluate`](Self::evaluate), the
+    /// batched path pays the oracle's per-batch costs (dispatch, the
+    /// `num_vars`-sized conflict accumulator, stats merging) once instead of
+    /// once per point, and lets the pool's sticky-striped workers run the
+    /// whole neighborhood without idling between points. With the
+    /// deterministic [`BackendKind::Fresh`](crate::BackendKind::Fresh)
+    /// backend the returned values are bit-identical to the sequential loop
+    /// (each point draws the same per-evaluation sample); a warm backend may
+    /// legitimately report different *costs* because its learnt-clause state
+    /// now flows across the whole batch.
+    pub fn evaluate_batch(&mut self, sets: &[DecompositionSet]) -> Vec<PointEvaluation> {
+        if sets.is_empty() {
+            return Vec::new();
+        }
+        // One sample plan per point, with the same per-evaluation RNG
+        // derivation the sequential path uses (point k of the batch draws
+        // exactly the sample it would draw as the k-th sequential call).
+        let mut plan: Vec<Cube> = Vec::with_capacity(sets.len() * self.config.sample_size);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(sets.len());
+        for (k, set) in sets.iter().enumerate() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(self.evaluations + k as u64),
+            );
+            let cubes = set.random_sample(self.config.sample_size, &mut rng);
+            let from = plan.len();
+            plan.extend(cubes);
+            ranges.push((from, plan.len()));
+        }
+
+        let batch = self.oracle.solve_batch(&plan, None);
+        debug_assert_eq!(
+            batch.outcomes.len(),
+            plan.len(),
+            "an uninterrupted batch reports every cube"
+        );
+        for (acc, &c) in self
+            .conflict_activity
+            .iter_mut()
+            .zip(&batch.var_conflict_totals)
+        {
+            *acc += c;
+        }
+        self.evaluations += sets.len() as u64;
+        self.total_solve_wall += batch.wall_time;
+
+        // Outcomes arrive sorted by cube index, so each point's slice is
+        // contiguous. The batch's wall time is apportioned equally (per-point
+        // wall clocks are not observable inside one pooled batch).
+        let per_point_wall = batch.wall_time / sets.len() as u32;
+        ranges
+            .iter()
+            .zip(sets)
+            .map(|(&(from, to), set)| {
+                summarize_outcomes(set, &batch.outcomes[from..to], per_point_wall)
+            })
+            .collect()
+    }
+
+    /// The memoized counterpart of [`evaluate_batch`](Self::evaluate_batch):
+    /// sets already in the oracle's point cache are answered instantly, the
+    /// misses (deduplicated) are evaluated in one oracle batch and stored.
+    ///
+    /// This is the entry point the [`SearchDriver`](crate::SearchDriver)
+    /// lowers neighborhood proposals through; for a single-set slice it
+    /// behaves exactly like [`evaluate_memoized`](Self::evaluate_memoized).
+    pub fn evaluate_batch_memoized(&mut self, sets: &[DecompositionSet]) -> Vec<PointEvaluation> {
+        // Slot k of `resolved` is either a finished evaluation (cache hit)
+        // or the index of the deduplicated miss that will provide it.
+        let mut resolved: Vec<Result<PointEvaluation, usize>> = Vec::with_capacity(sets.len());
+        let mut miss_sets: Vec<DecompositionSet> = Vec::new();
+        let mut miss_index: std::collections::HashMap<Vec<Var>, usize> =
+            std::collections::HashMap::new();
+        for set in sets {
+            if let Some(hit) = self.oracle.point_cache_mut().lookup(set.vars()) {
+                resolved.push(Ok(hit.clone()));
+            } else if let Some(&j) = miss_index.get(set.vars()) {
+                resolved.push(Err(j));
+            } else {
+                miss_index.insert(set.vars().to_vec(), miss_sets.len());
+                resolved.push(Err(miss_sets.len()));
+                miss_sets.push(set.clone());
             }
         }
 
-        PointEvaluation {
-            set: set.clone(),
-            estimate,
-            observations,
-            verdicts,
-            model,
-            wall_time: batch.wall_time,
+        let evaluations = self.evaluate_batch(&miss_sets);
+        for evaluation in &evaluations {
+            self.oracle
+                .point_cache_mut()
+                .store(evaluation.set.vars().to_vec(), evaluation.clone());
         }
+        resolved
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(evaluation) => evaluation,
+                Err(j) => evaluations[j].clone(),
+            })
+            .collect()
     }
 
     /// Evaluates the *exact* value of `t_{C,A}(X̃)` by enumerating the whole
@@ -321,6 +404,39 @@ impl Evaluator {
                 .copied()
                 .filter(|v| v.index() < self.cnf().num_vars()),
         )
+    }
+}
+
+/// Builds a [`PointEvaluation`] from one point's slice of batch outcomes
+/// (shared by the sequential and batched evaluation paths).
+fn summarize_outcomes(
+    set: &DecompositionSet,
+    outcomes: &[CubeOutcome],
+    wall_time: Duration,
+) -> PointEvaluation {
+    let observations: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
+    let estimate = PredictiveEstimate::from_observations(set.len(), &observations);
+    let mut verdicts = SampleVerdicts::default();
+    let mut model = None;
+    for outcome in outcomes {
+        match outcome.verdict {
+            VerdictSummary::Sat => {
+                verdicts.sat += 1;
+                if model.is_none() {
+                    model = outcome.model.clone();
+                }
+            }
+            VerdictSummary::Unsat => verdicts.unsat += 1,
+            VerdictSummary::Unknown => verdicts.unknown += 1,
+        }
+    }
+    PointEvaluation {
+        set: set.clone(),
+        estimate,
+        observations,
+        verdicts,
+        model,
+        wall_time,
     }
 }
 

@@ -57,6 +57,23 @@ impl SearchLimits {
         }
         false
     }
+
+    /// How many more points may be evaluated before `max_points` is hit, or
+    /// `None` when the point budget is unlimited.
+    ///
+    /// The [`SearchDriver`](crate::SearchDriver) uses this to truncate a
+    /// neighborhood-sized proposal *inside* a batch: a strategy proposing 30
+    /// points with 5 left in the budget gets exactly 5 evaluated, not 30.
+    #[must_use]
+    pub fn point_budget(&self, points_evaluated: usize) -> Option<usize> {
+        self.max_points.map(|m| m.saturating_sub(points_evaluated))
+    }
+
+    /// `true` when the wall-clock limit (if any) has been reached.
+    #[must_use]
+    pub fn time_exceeded(&self, elapsed: Duration) -> bool {
+        self.time_limit.is_some_and(|limit| elapsed >= limit)
+    }
 }
 
 #[allow(dead_code)]
@@ -85,6 +102,9 @@ pub enum StopCondition {
     TemperatureFloor,
     /// Tabu search ran out of unchecked points (`L2 = ∅`).
     SpaceExhausted,
+    /// The [`RandomRestart`](crate::RandomRestart) strategy spent its restart
+    /// budget without finding a new basin to descend into.
+    RestartsExhausted,
 }
 
 /// One evaluated point in the trajectory of a search.
@@ -157,6 +177,103 @@ impl SearchOutcome {
                 best
             })
             .collect()
+    }
+
+    /// Snapshots the search into a serializable [`SearchCheckpoint`]: every
+    /// distinct visited point with its value, plus the best pair found.
+    ///
+    /// Feeding the checkpoint to
+    /// [`SearchDriver::run_resumed`](crate::SearchDriver::run_resumed)
+    /// continues a search without re-paying for any visited point.
+    ///
+    /// The snapshot covers **this run's trajectory only**. A resumed run
+    /// revisits checkpointed points for free but does not replay them into
+    /// its history, so when chaining checkpoints across several runs, fold
+    /// each outcome into the running checkpoint with
+    /// [`SearchCheckpoint::absorb`] instead of replacing it.
+    #[must_use]
+    pub fn checkpoint(&self) -> SearchCheckpoint {
+        let mut seen = std::collections::HashSet::new();
+        let mut visited = Vec::with_capacity(self.history.len());
+        for step in &self.history {
+            if seen.insert(step.point.clone()) {
+                visited.push(VisitedPoint {
+                    point: step.point.clone(),
+                    value: step.value,
+                });
+            }
+        }
+        SearchCheckpoint {
+            dimension: self.best_point.dimension(),
+            visited,
+            best_point: self.best_point.clone(),
+            best_value: self.best_value,
+        }
+    }
+}
+
+/// One entry of a [`SearchCheckpoint`]: a visited point and its predictive
+/// function value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitedPoint {
+    /// The visited point.
+    pub point: Point,
+    /// The predictive function value observed there.
+    pub value: f64,
+}
+
+/// A serializable snapshot of a search's visited points — the
+/// [`SearchDriver`](crate::SearchDriver)'s trace of everything it paid for.
+///
+/// Checkpoints let a later run (same instance, same evaluator configuration)
+/// warm-start: the driver seeds its dedup/memo cache from `visited`, so every
+/// checkpointed point is answered for free, and `best_point`/`best_value`
+/// carry the incumbent across the restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Dimension of the search space the checkpoint was taken in (resuming
+    /// validates it against the new run's space).
+    pub dimension: usize,
+    /// Every distinct visited point with its value, in first-visit order.
+    pub visited: Vec<VisitedPoint>,
+    /// Best point found so far.
+    pub best_point: Point,
+    /// Best (smallest) predictive function value found so far.
+    pub best_value: f64,
+}
+
+impl SearchCheckpoint {
+    /// Folds `outcome` into this checkpoint: newly visited points are
+    /// appended (already-known points keep their stored value) and the best
+    /// pair is updated when the outcome improved on it.
+    ///
+    /// This is the chaining primitive for multi-run searches: resume run
+    /// `k+1` from the running checkpoint, then `absorb` its outcome, so no
+    /// run ever loses coverage paid for by an earlier one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome's dimension does not match the checkpoint.
+    pub fn absorb(&mut self, outcome: &SearchOutcome) {
+        assert_eq!(
+            self.dimension,
+            outcome.best_point.dimension(),
+            "checkpoint dimension must match the absorbed outcome"
+        );
+        let mut known: std::collections::HashSet<Point> =
+            self.visited.iter().map(|v| v.point.clone()).collect();
+        for step in &outcome.history {
+            if known.insert(step.point.clone()) {
+                self.visited.push(VisitedPoint {
+                    point: step.point.clone(),
+                    value: step.value,
+                });
+            }
+        }
+        if outcome.best_value < self.best_value {
+            self.best_point = outcome.best_point.clone();
+            self.best_value = outcome.best_value;
+        }
     }
 }
 

@@ -1,12 +1,12 @@
 //! Tabu search minimization of the predictive function
-//! (Algorithm 2 of the paper).
+//! (Algorithm 2 of the paper), as a [`Strategy`] for the [`SearchDriver`].
 
-use crate::search::{SearchLimits, SearchOutcome, SearchStep, StopCondition};
-use crate::{Evaluator, Point, SearchSpace};
-use rand::{Rng, SeedableRng};
+use crate::driver::{Evaluated, Observation, Proposal, SearchContext, SearchDriver, Strategy};
+use crate::search::{SearchLimits, SearchOutcome, StopCondition};
+use crate::{DriverConfig, Evaluator, Point, SearchSpace};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::collections::HashSet;
 
 /// How `getNewCenter(L2)` picks the next centre when the current
 /// neighbourhood is exhausted without improvement.
@@ -23,6 +23,9 @@ pub enum NewCenterHeuristic {
 }
 
 /// Parameters of Algorithm 2.
+///
+/// `limits` and `seed` are enforced by the [`SearchDriver`]; the
+/// [`TabuSearch::minimize`] shim forwards them automatically.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TabuConfig {
     /// Neighbourhood radius ρ (PDSAT uses 1).
@@ -46,13 +49,181 @@ impl Default for TabuConfig {
     }
 }
 
-/// Tabu search minimizer of the predictive function.
+/// Algorithm 2 as a [`Strategy`].
 ///
 /// The two tabu lists of the paper are maintained explicitly: `L1` holds
 /// points whose whole neighbourhood has been checked, `L2` holds checked
 /// points with at least one unchecked neighbour. A point's value is never
 /// recomputed — exactly the purpose of the tabu lists, since every `F`
-/// evaluation costs `N` SAT solver runs.
+/// evaluation costs `N` SAT solver runs (the driver's memo cache backs this
+/// invariant up mechanically).
+#[derive(Debug, Clone)]
+pub struct Tabu {
+    radius: usize,
+    heuristic: NewCenterHeuristic,
+    center: Option<Point>,
+    /// L1: checked points whose neighbourhood is fully checked.
+    l1: HashSet<Point>,
+    /// L2: checked points with unchecked neighbours.
+    l2: Vec<Point>,
+    /// Whether the best value improved since the last centre move.
+    improved: bool,
+}
+
+impl Tabu {
+    /// Creates the strategy from the move rule of `config` (`config.limits`
+    /// and `config.seed` belong to the [`DriverConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured radius is zero.
+    #[must_use]
+    pub fn new(config: &TabuConfig) -> Tabu {
+        assert!(
+            config.radius >= 1,
+            "the neighbourhood radius must be positive"
+        );
+        Tabu {
+            radius: config.radius,
+            heuristic: config.new_center,
+            center: None,
+            l1: HashSet::new(),
+            l2: Vec::new(),
+            improved: false,
+        }
+    }
+
+    /// Sizes of the tabu lists `(|L1|, |L2|)`.
+    #[must_use]
+    pub fn tabu_list_sizes(&self) -> (usize, usize) {
+        (self.l1.len(), self.l2.len())
+    }
+
+    /// `getNewCenter(L2)` of the paper.
+    fn pick_new_center(&self, ctx: &mut SearchContext<'_>) -> Option<Point> {
+        if self.l2.is_empty() {
+            return None;
+        }
+        match self.heuristic {
+            NewCenterHeuristic::Random => {
+                Some(self.l2[ctx.rng.gen_range(0..self.l2.len())].clone())
+            }
+            NewCenterHeuristic::BestValue => self
+                .l2
+                .iter()
+                .min_by(|a, b| {
+                    let va = ctx.value_of(a).unwrap_or(f64::INFINITY);
+                    let vb = ctx.value_of(b).unwrap_or(f64::INFINITY);
+                    va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned(),
+            NewCenterHeuristic::ConflictActivity => self
+                .l2
+                .iter()
+                .max_by_key(|p| {
+                    let set = ctx.space.decomposition_set(p);
+                    ctx.evaluator.activity_of_set(&set)
+                })
+                .cloned(),
+        }
+    }
+}
+
+impl Strategy for Tabu {
+    fn initialize(&mut self, _ctx: &mut SearchContext<'_>, start: &Evaluated) {
+        // Full reset: a strategy instance may be reused across runs.
+        self.l1.clear();
+        self.l2.clear();
+        self.improved = false;
+        self.center = Some(start.point.clone());
+        self.l2.push(start.point.clone());
+    }
+
+    fn propose(&mut self, ctx: &mut SearchContext<'_>) -> Proposal {
+        let mut center = self
+            .center
+            .clone()
+            .expect("initialize() runs before propose()");
+        loop {
+            let neighborhood = ctx.space.neighborhood(&center, self.radius);
+            let unchecked: Vec<&Point> = neighborhood
+                .iter()
+                .filter(|p| !ctx.is_evaluated(p))
+                .collect();
+            if !unchecked.is_empty() {
+                let candidate = unchecked[ctx.rng.gen_range(0..unchecked.len())].clone();
+                self.center = Some(center);
+                return Proposal::Evaluate(vec![candidate]);
+            }
+            // The neighbourhood of χ_center is checked. In a fresh run every
+            // L2 point still has unchecked neighbours (observe migrates the
+            // others), but a checkpoint-resumed run warm-starts the driver's
+            // memo, which can leave stale L2 entries; migrate them here so
+            // getNewCenter cannot cycle on an exhausted centre.
+            if let Some(position) = self.l2.iter().position(|p| *p == center) {
+                let stale = self.l2.remove(position);
+                self.l1.insert(stale);
+            }
+            // Move to the improved best point, or ask getNewCenter(L2) for a
+            // fresh centre.
+            if self.improved {
+                center = ctx.best_point.clone();
+                self.improved = false;
+                continue;
+            }
+            match self.pick_new_center(ctx) {
+                Some(next) => center = next,
+                None => return Proposal::Stop(StopCondition::SpaceExhausted),
+            }
+        }
+    }
+
+    fn observe(&mut self, ctx: &mut SearchContext<'_>, results: &[Evaluated]) -> Observation {
+        assert_eq!(results.len(), 1, "tabu search proposes single points");
+        let evaluated = &results[0];
+        let candidate = &evaluated.point;
+
+        // markPointInTabuLists: the new point joins L2 (or L1 when its own
+        // neighbourhood is already fully checked), and points of L2 whose
+        // neighbourhood just became fully checked migrate to L1.
+        let candidate_checked = ctx
+            .space
+            .neighborhood(candidate, self.radius)
+            .iter()
+            .all(|p| ctx.is_evaluated(p));
+        if candidate_checked {
+            self.l1.insert(candidate.clone());
+        } else {
+            self.l2.push(candidate.clone());
+        }
+        let mut still_open = Vec::with_capacity(self.l2.len());
+        for p in self.l2.drain(..) {
+            let checked = ctx
+                .space
+                .neighborhood(&p, self.radius)
+                .iter()
+                .all(|q| ctx.is_evaluated(q));
+            if checked {
+                self.l1.insert(p);
+            } else {
+                still_open.push(p);
+            }
+        }
+        self.l2 = still_open;
+
+        let is_best = evaluated.value < ctx.best_value;
+        if is_best {
+            self.improved = true;
+        }
+        Observation {
+            accepted: vec![is_best],
+            stop: None,
+        }
+    }
+}
+
+/// Tabu search minimizer of the predictive function — the historical entry
+/// point, now a thin shim over [`SearchDriver`] + [`Tabu`].
 #[derive(Debug, Clone)]
 pub struct TabuSearch {
     config: TabuConfig,
@@ -73,210 +244,35 @@ impl TabuSearch {
 
     /// Runs the minimization from `start` over `space`.
     ///
-    /// The evaluator should be long-lived (ideally shared with other
-    /// searches over the same instance): it owns the oracle's persistent
-    /// worker pool, so every point evaluation reuses the same resident
-    /// backends batch after batch, and the memoized point cache answers
-    /// points another search already paid for.
-    ///
     /// # Panics
     ///
     /// Panics if `start` has a different dimension than `space` or if the
     /// configured radius is zero.
+    #[deprecated(
+        since = "0.3.0",
+        note = "drive a `Tabu` strategy through `SearchDriver::run` instead; \
+                this shim is kept for one release"
+    )]
     pub fn minimize(
         &self,
         space: &SearchSpace,
         start: &Point,
         evaluator: &mut Evaluator,
     ) -> SearchOutcome {
-        assert_eq!(
-            start.dimension(),
-            space.dimension(),
-            "start point must live in the search space"
-        );
-        assert!(
-            self.config.radius >= 1,
-            "the neighbourhood radius must be positive"
-        );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
-        let begin = Instant::now();
-
-        // All computed F values (the union of L1 and L2 plus bookkeeping).
-        let mut evaluated: HashMap<Point, f64> = HashMap::new();
-        let mut history: Vec<SearchStep> = Vec::new();
-        // L1: checked points whose neighbourhood is fully checked.
-        let mut l1: HashSet<Point> = HashSet::new();
-        // L2: checked points with unchecked neighbours.
-        let mut l2: Vec<Point> = Vec::new();
-
-        let evaluate = |point: &Point,
-                        evaluator: &mut Evaluator,
-                        evaluated: &mut HashMap<Point, f64>|
-         -> f64 {
-            debug_assert!(
-                !evaluated.contains_key(point),
-                "tabu lists forbid re-evaluation"
-            );
-            let set = space.decomposition_set(point);
-            // Within one run the tabu lists already forbid re-evaluation; the
-            // memoized path additionally reuses points paid for by *other*
-            // searches sharing this evaluator's oracle.
-            let value = evaluator.evaluate_memoized(&set).value();
-            evaluated.insert(point.clone(), value);
-            value
-        };
-
-        let mut center = start.clone();
-        let mut best_point = center.clone();
-        let mut best_value = evaluate(&center, evaluator, &mut evaluated);
-        l2.push(center.clone());
-        history.push(SearchStep {
-            index: 0,
-            point: center.clone(),
-            set_size: center.ones(),
-            value: best_value,
-            accepted: true,
-            is_best: true,
-            elapsed: begin.elapsed(),
+        let driver = SearchDriver::new(DriverConfig {
+            limits: self.config.limits.clone(),
+            seed: self.config.seed,
+            ..DriverConfig::default()
         });
-
-        let stop;
-
-        'outer: loop {
-            let mut best_value_updated = false;
-
-            // Check the neighbourhood of the current centre.
-            loop {
-                if self.config.limits.exceeded(history.len(), begin.elapsed()) {
-                    stop = if self
-                        .config
-                        .limits
-                        .max_points
-                        .is_some_and(|m| history.len() >= m)
-                    {
-                        StopCondition::PointLimit
-                    } else {
-                        StopCondition::TimeLimit
-                    };
-                    break 'outer;
-                }
-
-                let neighborhood = space.neighborhood(&center, self.config.radius);
-                let unchecked: Vec<&Point> = neighborhood
-                    .iter()
-                    .filter(|p| !evaluated.contains_key(*p))
-                    .collect();
-                if unchecked.is_empty() {
-                    break; // the neighbourhood of χ_center is checked
-                }
-                let candidate = unchecked[rng.gen_range(0..unchecked.len())].clone();
-                let value = evaluate(&candidate, evaluator, &mut evaluated);
-
-                // markPointInTabuLists: the new point joins L2 (or L1 when its
-                // own neighbourhood is already fully checked), and points of
-                // L2 whose neighbourhood just became fully checked migrate to
-                // L1.
-                let candidate_checked = space
-                    .neighborhood(&candidate, self.config.radius)
-                    .iter()
-                    .all(|p| evaluated.contains_key(p));
-                if candidate_checked {
-                    l1.insert(candidate.clone());
-                } else {
-                    l2.push(candidate.clone());
-                }
-                let mut still_open = Vec::with_capacity(l2.len());
-                for p in l2.drain(..) {
-                    let checked = space
-                        .neighborhood(&p, self.config.radius)
-                        .iter()
-                        .all(|q| evaluated.contains_key(q));
-                    if checked {
-                        l1.insert(p);
-                    } else {
-                        still_open.push(p);
-                    }
-                }
-                l2 = still_open;
-
-                let is_best = value < best_value;
-                if is_best {
-                    best_value = value;
-                    best_point = candidate.clone();
-                    best_value_updated = true;
-                }
-                let set_size = candidate.ones();
-                history.push(SearchStep {
-                    index: history.len(),
-                    point: candidate,
-                    set_size,
-                    value,
-                    accepted: is_best,
-                    is_best,
-                    elapsed: begin.elapsed(),
-                });
-            }
-
-            if best_value_updated {
-                center = best_point.clone();
-            } else {
-                // getNewCenter(L2)
-                match self.pick_new_center(space, &l2, &evaluated, evaluator, &mut rng) {
-                    Some(next) => center = next,
-                    None => {
-                        stop = StopCondition::SpaceExhausted;
-                        break 'outer;
-                    }
-                }
-            }
-        }
-
-        let best_set = space.decomposition_set(&best_point);
-        SearchOutcome {
-            best_point,
-            best_set,
-            best_value,
-            points_evaluated: history.len(),
-            history,
-            wall_time: begin.elapsed(),
-            stop_condition: stop,
-        }
-    }
-
-    fn pick_new_center<R: Rng>(
-        &self,
-        space: &SearchSpace,
-        l2: &[Point],
-        evaluated: &HashMap<Point, f64>,
-        evaluator: &Evaluator,
-        rng: &mut R,
-    ) -> Option<Point> {
-        if l2.is_empty() {
-            return None;
-        }
-        match self.config.new_center {
-            NewCenterHeuristic::Random => Some(l2[rng.gen_range(0..l2.len())].clone()),
-            NewCenterHeuristic::BestValue => l2
-                .iter()
-                .min_by(|a, b| {
-                    let va = evaluated.get(*a).copied().unwrap_or(f64::INFINITY);
-                    let vb = evaluated.get(*b).copied().unwrap_or(f64::INFINITY);
-                    va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .cloned(),
-            NewCenterHeuristic::ConflictActivity => l2
-                .iter()
-                .max_by_key(|p| {
-                    let set = space.decomposition_set(p);
-                    evaluator.activity_of_set(&set)
-                })
-                .cloned(),
-        }
+        let mut strategy = Tabu::new(&self.config);
+        driver.run(space, start, &mut strategy, evaluator)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{CostMetric, EvaluatorConfig};
     use pdsat_cnf::{Cnf, Lit, Var};

@@ -1,0 +1,101 @@
+//! Property tests for the neighborhood structure of the search space — the
+//! invariants every [`Strategy`] relies on when it proposes batches: correct
+//! Hamming distances, no duplicates, never the center itself, and the exact
+//! binomial neighborhood size.
+
+use pdsat_cnf::Var;
+use pdsat_core::{Point, SearchSpace};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+fn space(dimension: usize) -> SearchSpace {
+    SearchSpace::new((0..dimension as u32).map(Var::new))
+}
+
+/// A deterministic pseudo-random point of the space.
+fn random_point(space: &SearchSpace, seed: u64) -> Point {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let ones = rng.gen_range(0..=space.dimension());
+    space.random_point_with_ones(ones, &mut rng)
+}
+
+/// `C(n, k)` without overflow for the small dimensions tested here.
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `neighbors` returns exactly the `m` points at Hamming distance 1:
+    /// no duplicates, never the center.
+    #[test]
+    fn neighbors_are_exactly_hamming_distance_one(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5AFE);
+        let dimension = rng.gen_range(1..12usize);
+        let s = space(dimension);
+        let center = random_point(&s, seed);
+        let neighbors = s.neighbors(&center);
+        prop_assert_eq!(neighbors.len(), dimension);
+        let unique: HashSet<&Point> = neighbors.iter().collect();
+        prop_assert_eq!(unique.len(), neighbors.len(), "duplicate neighbors");
+        for p in &neighbors {
+            prop_assert_eq!(p.hamming_distance(&center), 1);
+        }
+        prop_assert!(!neighbors.contains(&center), "center in its own neighbors");
+    }
+
+    /// `neighborhood(center, radius)` holds every point at distance `1..=ρ`
+    /// exactly once — size `Σ_{k=1..ρ} C(m, k)` — and excludes the center.
+    #[test]
+    fn neighborhood_has_binomial_size_and_correct_distances(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD15C);
+        let dimension = rng.gen_range(1..10usize);
+        let radius = rng.gen_range(1..=dimension);
+        let s = space(dimension);
+        let center = random_point(&s, seed);
+        let neighborhood = s.neighborhood(&center, radius);
+
+        let expected: usize = (1..=radius).map(|k| binomial(dimension, k)).sum();
+        prop_assert_eq!(neighborhood.len(), expected);
+
+        let unique: HashSet<&Point> = neighborhood.iter().collect();
+        prop_assert_eq!(unique.len(), neighborhood.len(), "duplicate points");
+        prop_assert!(!neighborhood.contains(&center), "center in its own neighborhood");
+        for p in &neighborhood {
+            let d = p.hamming_distance(&center);
+            prop_assert!((1..=radius).contains(&d), "distance {} outside 1..={}", d, radius);
+        }
+    }
+
+    /// Radius 1 agrees with `neighbors` as a set.
+    #[test]
+    fn radius_one_neighborhood_equals_neighbors(seed in 0u64..10_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DD);
+        let dimension = rng.gen_range(1..12usize);
+        let s = space(dimension);
+        let center = random_point(&s, seed);
+        let a: HashSet<Point> = s.neighborhood(&center, 1).into_iter().collect();
+        let b: HashSet<Point> = s.neighbors(&center).into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A full-dimension radius covers the whole space except the center.
+    #[test]
+    fn full_radius_covers_the_space(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF111);
+        let dimension = rng.gen_range(1..8usize);
+        let s = space(dimension);
+        let center = random_point(&s, seed);
+        let neighborhood = s.neighborhood(&center, dimension);
+        prop_assert_eq!(neighborhood.len(), (1usize << dimension) - 1);
+    }
+}

@@ -10,8 +10,8 @@
 
 use pdsat::ciphers::{InstanceBuilder, StreamCipher, A51};
 use pdsat::core::{
-    solve_family, BackendKind, CostMetric, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
-    SolveModeConfig, TabuConfig, TabuSearch,
+    solve_family, BackendKind, CostMetric, DriverConfig, Evaluator, EvaluatorConfig, SearchDriver,
+    SearchLimits, SearchSpace, SolveModeConfig, Tabu, TabuConfig,
 };
 use rand::SeedableRng;
 
@@ -44,12 +44,14 @@ fn main() {
         },
     );
 
-    // Tabu search for a decomposition set with a small predictive value.
-    let tabu = TabuSearch::new(TabuConfig {
+    // Tabu search for a decomposition set with a small predictive value,
+    // driven by the unified search engine.
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(20),
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
     println!(
         "tabu search evaluated {} points; best set has {} variables, F = {:.1} propagations",
         outcome.points_evaluated,

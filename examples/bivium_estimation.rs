@@ -7,8 +7,8 @@
 
 use pdsat::ciphers::{Bivium, InstanceBuilder};
 use pdsat::core::{
-    CostMetric, DecompositionSet, Evaluator, EvaluatorConfig, SearchLimits, SearchSpace,
-    TabuConfig, TabuSearch,
+    CostMetric, DecompositionSet, DriverConfig, Evaluator, EvaluatorConfig, SearchDriver,
+    SearchLimits, SearchSpace, Tabu, TabuConfig,
 };
 use rand::SeedableRng;
 
@@ -54,11 +54,12 @@ fn main() {
     // Strategy 2 (PDSAT): tabu-optimized set, large sample.
     let space = SearchSpace::new(unknown.clone());
     let mut evaluator = make_evaluator(80);
-    let tabu = TabuSearch::new(TabuConfig {
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(25),
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let outcome = tabu.minimize(&space, &space.full_point(), &mut evaluator);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut evaluator);
     let best_exact = evaluator.evaluate_exhaustively(&outcome.best_set);
     println!(
         "tabu-optimized   : |X̃| = {:2}, N = 80  → F = {:10.1}   (exact {:10.1})",

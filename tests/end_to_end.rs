@@ -5,8 +5,8 @@
 
 use pdsat::ciphers::{Bivium, Grain, Instance, InstanceBuilder, StreamCipher, A51};
 use pdsat::core::{
-    solve_family, AnnealingConfig, CostMetric, Evaluator, EvaluatorConfig, SearchLimits,
-    SearchSpace, SimulatedAnnealing, SolveModeConfig, TabuConfig, TabuSearch,
+    solve_family, Annealing, AnnealingConfig, CostMetric, DriverConfig, Evaluator, EvaluatorConfig,
+    SearchDriver, SearchLimits, SearchSpace, SolveModeConfig, Tabu, TabuConfig,
 };
 use rand::SeedableRng;
 
@@ -26,13 +26,14 @@ fn full_pipeline<C: StreamCipher + Copy>(cipher: C, instance: Instance) {
     let space = SearchSpace::new(instance.unknown_state_vars());
     let mut eval = evaluator(&instance, 10);
 
-    // Search for a decomposition set with tabu search.
-    let tabu = TabuSearch::new(TabuConfig {
+    // Search for a decomposition set with tabu search through the driver.
+    let driver = SearchDriver::new(DriverConfig {
         limits: SearchLimits::unlimited().with_max_points(10),
         seed: 1,
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let outcome = tabu.minimize(&space, &space.full_point(), &mut eval);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut eval);
     assert!(outcome.best_value.is_finite());
     assert!(!outcome.best_set.is_empty() || space.dimension() == 0);
 
@@ -138,21 +139,19 @@ fn simulated_annealing_and_tabu_find_comparable_sets() {
     let space = SearchSpace::new(instance.unknown_state_vars());
     let limits = SearchLimits::unlimited().with_max_points(12);
 
-    let mut eval_sa = evaluator(&instance, 8);
-    let sa = SimulatedAnnealing::new(AnnealingConfig {
-        limits: limits.clone(),
-        seed: 2,
-        ..AnnealingConfig::default()
-    });
-    let sa_outcome = sa.minimize(&space, &space.full_point(), &mut eval_sa);
-
-    let mut eval_tabu = evaluator(&instance, 8);
-    let tabu = TabuSearch::new(TabuConfig {
+    let driver = SearchDriver::new(DriverConfig {
         limits,
         seed: 2,
-        ..TabuConfig::default()
+        ..DriverConfig::default()
     });
-    let tabu_outcome = tabu.minimize(&space, &space.full_point(), &mut eval_tabu);
+
+    let mut eval_sa = evaluator(&instance, 8);
+    let mut annealing = Annealing::new(&AnnealingConfig::default());
+    let sa_outcome = driver.run(&space, &space.full_point(), &mut annealing, &mut eval_sa);
+
+    let mut eval_tabu = evaluator(&instance, 8);
+    let mut tabu = Tabu::new(&TabuConfig::default());
+    let tabu_outcome = driver.run(&space, &space.full_point(), &mut tabu, &mut eval_tabu);
 
     // Both metaheuristics at least do not regress from the starting point
     // (their first evaluated point).
