@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use pdsat_bench::{bench_a51_instance, bench_bivium_instance, pigeonhole, start_set};
 use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle};
-use pdsat_solver::Solver;
+use pdsat_solver::{Solver, SolverConfig};
 use std::time::Duration;
 
 fn bench_solver(c: &mut Criterion) {
@@ -40,16 +40,61 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("bivium_weakened_cube_assumptions", |b| {
         // One random cube of the decomposition family, solved under
         // assumptions on a pre-loaded solver — the unit of work of the Monte
-        // Carlo estimator.
+        // Carlo estimator. Trail reuse is off here on purpose: re-solving
+        // the identical cube with reuse degenerates into a full-prefix match
+        // that skips exactly the assumption replay this row exists to
+        // measure (the reuse effect has its own `family_prefix_reuse` rows).
         let instance = bench_bivium_instance();
         let set = start_set(&instance);
         let cube = set.cube_from_index(5);
-        let mut solver = Solver::from_cnf(instance.cnf());
+        let mut solver = Solver::from_cnf_with_config(
+            instance.cnf(),
+            SolverConfig {
+                trail_reuse: false,
+                ..SolverConfig::default()
+            },
+        );
         b.iter(|| {
-            let verdict = solver.solve_with_assumptions(&cube.to_assumptions());
+            let verdict = solver.solve_with_assumptions(cube.lits());
             assert!(!verdict.is_unknown());
         });
     });
+
+    // One persistent incremental solver processing the full 1024-cube
+    // decomposition family in enumeration order, with and without
+    // assumption-prefix trail reuse: the head-to-head isolates the per-cube
+    // cost of replaying shared assumption prefixes and their unit
+    // propagations (the dominant warm-path cost once a family's lemmas are
+    // learnt). CI gates `on` against `off` via `bench_gate --faster-than`.
+    for reuse in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("family_prefix_reuse", if reuse { "on" } else { "off" }),
+            &reuse,
+            |b, &reuse| {
+                let instance = bench_bivium_instance();
+                let set = start_set(&instance);
+                let cubes: Vec<_> = set.cubes().collect();
+                let mut solver = Solver::from_cnf_with_config(
+                    instance.cnf(),
+                    SolverConfig {
+                        trail_reuse: reuse,
+                        time_accounting: false,
+                        ..SolverConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    let mut sat = 0u32;
+                    for cube in &cubes {
+                        if solver.solve_with_assumptions(cube.lits()).is_sat() {
+                            sat += 1;
+                        }
+                    }
+                    assert!(sat >= 1);
+                    sat
+                });
+            },
+        );
+    }
 
     // The same 64 sub-problems through the two CubeOracle backends: the
     // fresh/warm gap isolates the per-cube cost of reloading the clause

@@ -6,14 +6,16 @@
 //! measured quantity is the steady-state cost of a family batch on the
 //! oracle's *persistent* worker pool — resident backends included — exactly
 //! the regime PDSAT runs in (its MiniSat workers live for the whole
-//! cluster job). Two numbers are CI-gated against the committed
-//! `BENCH_solver.json`: the `…_backend/warm` median (≤ 10 % regression) and
-//! the `…_workers/4` median (≤ 10 % regression, plus the scaling assertion
-//! that 4 workers beat 1 — see `bench_gate --faster-than`).
+//! cluster job). CI gates (see `bench_gate`): the `…_backend/warm` median
+//! (≤ 10 % regression vs the committed `BENCH_solver.json`), the
+//! `…_workers/4` median (≤ 10 % regression, plus the scaling assertion that
+//! 4 workers beat 1), and the trail-reuse head-to-heads
+//! (`…_reuse/on` at least 25 % faster than `…_reuse/off` for both ciphers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdsat_bench::{bench_bivium_instance, bench_grain_instance, start_set};
 use pdsat_core::{BackendKind, CostMetric, FamilySolver, SolveModeConfig};
+use pdsat_solver::SolverConfig;
 use std::time::Duration;
 
 fn bench_solving_mode(c: &mut Criterion) {
@@ -46,6 +48,41 @@ fn bench_solving_mode(c: &mut Criterion) {
                 });
             },
         );
+    }
+
+    // The trail-reuse head-to-head on the warm backend: identical family,
+    // identical prefix-aware schedule, `SolverConfig::trail_reuse` toggled.
+    // CI gates `on` at least 25 % faster than `off` for both ciphers
+    // (`bench_gate --faster-than … -25`).
+    for (cipher, instance, set) in [
+        ("bivium", &bivium, &bivium_set),
+        ("grain", &grain, &grain_set),
+    ] {
+        for reuse in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{cipher}_family_1024_cubes_reuse"),
+                    if reuse { "on" } else { "off" },
+                ),
+                &reuse,
+                |b, &reuse| {
+                    let config = SolveModeConfig {
+                        cost: CostMetric::Conflicts,
+                        solver_config: SolverConfig {
+                            trail_reuse: reuse,
+                            ..SolverConfig::default()
+                        },
+                        ..SolveModeConfig::default()
+                    };
+                    let mut solver = FamilySolver::new(instance.cnf(), &config);
+                    b.iter(|| {
+                        let report = solver.solve_family(set, None);
+                        assert!(report.sat_count >= 1);
+                        report.total_cost
+                    });
+                },
+            );
+        }
     }
 
     for workers in [1usize, 4] {

@@ -36,4 +36,15 @@ fn main() {
         .sum::<f64>()
         / result.rows.len().max(1) as f64;
     println!("Mean deviation across the scaled problems: {mean_dev:.1}%");
+    let (reused, saved) = result
+        .rows
+        .iter()
+        .flat_map(|r| &r.instances)
+        .fold((0u64, 0u64), |(r, s), m| {
+            (r + m.reused_assumptions, s + m.saved_propagations)
+        });
+    println!(
+        "Trail reuse while solving the families: {reused} assumption levels reused, \
+         {saved} replay propagations skipped"
+    );
 }

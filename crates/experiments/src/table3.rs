@@ -34,6 +34,13 @@ pub struct InstanceMeasurement {
     /// Simulated time at which the first satisfiable cube finished on the
     /// cluster, if any cube is satisfiable.
     pub finding_sat_cores: Option<f64>,
+    /// Assumption literals reused across consecutive cubes by the solver's
+    /// trail reuse while processing the family (zero on the fresh backend,
+    /// where every sub-problem is an independent solver run).
+    pub reused_assumptions: u64,
+    /// Assumption/propagation replays the trail reuse skipped over the
+    /// whole family.
+    pub saved_propagations: u64,
 }
 
 /// One row of Table 3 (one weakened problem, three instances).
@@ -202,6 +209,8 @@ pub fn run_table3(
                 family_cost_one_core: report.total_cost,
                 family_makespan_cores: cluster_report.makespan,
                 finding_sat_cores: cluster_report.first_sat_finish,
+                reused_assumptions: report.reused_assumptions,
+                saved_propagations: report.saved_propagations,
             });
         }
         let mean_deviation_percent = if deviations.is_empty() {

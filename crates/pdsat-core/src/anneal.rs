@@ -1,9 +1,9 @@
 //! Simulated annealing minimization of the predictive function
 //! (Algorithm 1 of the paper), as a [`Strategy`] for the [`SearchDriver`].
 
-use crate::driver::{Evaluated, Observation, Proposal, SearchContext, SearchDriver, Strategy};
-use crate::search::{SearchLimits, SearchOutcome, StopCondition};
-use crate::{DriverConfig, Evaluator, Point, SearchSpace};
+use crate::driver::{Evaluated, Observation, Proposal, SearchContext, Strategy};
+use crate::search::{SearchLimits, StopCondition};
+use crate::Point;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -27,9 +27,9 @@ pub enum TemperatureScale {
 
 /// Parameters of Algorithm 1.
 ///
-/// `limits` and `seed` are enforced by the [`SearchDriver`] (the
-/// [`Annealing`] strategy itself only reads the temperature schedule); the
-/// [`SimulatedAnnealing::minimize`] shim forwards them automatically.
+/// `limits` and `seed` belong to the [`DriverConfig`] of the
+/// [`SearchDriver`] that runs the strategy; [`Annealing::new`] reads only
+/// the temperature schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnnealingConfig {
     /// Initial temperature `T₀`.
@@ -202,60 +202,30 @@ impl Strategy for Annealing {
     }
 }
 
-/// Simulated annealing minimizer of the predictive function — the historical
-/// entry point, now a thin shim over [`SearchDriver`] + [`Annealing`].
-#[derive(Debug, Clone)]
-pub struct SimulatedAnnealing {
-    config: AnnealingConfig,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SearchDriver;
+    use crate::search::SearchOutcome;
+    use crate::{CostMetric, DriverConfig, Evaluator, EvaluatorConfig, SearchSpace};
+    use pdsat_cnf::{Cnf, Lit, Var};
 
-impl SimulatedAnnealing {
-    /// Creates the minimizer with the given configuration.
-    #[must_use]
-    pub fn new(config: AnnealingConfig) -> SimulatedAnnealing {
-        SimulatedAnnealing { config }
-    }
-
-    /// The configuration in use.
-    #[must_use]
-    pub fn config(&self) -> &AnnealingConfig {
-        &self.config
-    }
-
-    /// Runs the minimization from `start` over `space`, evaluating the
-    /// predictive function with `evaluator`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `start` has a different dimension than `space`.
-    #[deprecated(
-        since = "0.3.0",
-        note = "drive an `Annealing` strategy through `SearchDriver::run` instead; \
-                this shim is kept for one release"
-    )]
-    pub fn minimize(
-        &self,
+    /// Drives an [`Annealing`] strategy through the [`SearchDriver`] — the
+    /// one way to run Algorithm 1 since the deprecated
+    /// `SimulatedAnnealing::minimize` shim was removed.
+    fn minimize(
+        config: &AnnealingConfig,
         space: &SearchSpace,
         start: &Point,
         evaluator: &mut Evaluator,
     ) -> SearchOutcome {
         let driver = SearchDriver::new(DriverConfig {
-            limits: self.config.limits.clone(),
-            seed: self.config.seed,
+            limits: config.limits.clone(),
+            seed: config.seed,
             ..DriverConfig::default()
         });
-        let mut strategy = Annealing::new(&self.config);
-        driver.run(space, start, &mut strategy, evaluator)
+        driver.run(space, start, &mut Annealing::new(config), evaluator)
     }
-}
-
-#[cfg(test)]
-mod tests {
-    #![allow(deprecated)]
-
-    use super::*;
-    use crate::{CostMetric, EvaluatorConfig};
-    use pdsat_cnf::{Cnf, Lit, Var};
 
     /// Unsatisfiable pigeonhole formula: 5 pigeons, 4 holes (20 variables).
     fn pigeonhole() -> Cnf {
@@ -292,12 +262,12 @@ mod tests {
         let space = SearchSpace::new((0..8).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 16);
-        let sa = SimulatedAnnealing::new(AnnealingConfig {
+        let config = AnnealingConfig {
             limits: SearchLimits::unlimited().with_max_points(40),
             seed: 3,
             ..AnnealingConfig::default()
-        });
-        let outcome = sa.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         assert!(outcome.points_evaluated <= 40);
         assert!(outcome.best_value <= outcome.history[0].value);
         assert_eq!(
@@ -317,12 +287,12 @@ mod tests {
         let start = space.full_point();
         let run = |seed| {
             let mut eval = evaluator(&cnf, 8);
-            let sa = SimulatedAnnealing::new(AnnealingConfig {
+            let config = AnnealingConfig {
                 limits: SearchLimits::unlimited().with_max_points(20),
                 seed,
                 ..AnnealingConfig::default()
-            });
-            let out = sa.minimize(&space, &start, &mut eval);
+            };
+            let out = minimize(&config, &space, &start, &mut eval);
             (out.best_point.clone(), out.best_value)
         };
         assert_eq!(run(7), run(7));
@@ -334,15 +304,15 @@ mod tests {
         let space = SearchSpace::new((0..5).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 4);
-        let sa = SimulatedAnnealing::new(AnnealingConfig {
+        let config = AnnealingConfig {
             initial_temperature: 1.0,
             cooling_factor: 0.1,
             min_temperature: 0.5,
             limits: SearchLimits::unlimited(),
             seed: 1,
             ..AnnealingConfig::default()
-        });
-        let outcome = sa.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         assert_eq!(outcome.stop_condition, StopCondition::TemperatureFloor);
         // One initial evaluation plus very few steps before the temperature
         // drops below the floor.
@@ -355,12 +325,12 @@ mod tests {
         let space = SearchSpace::new((0..6).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 4);
-        let sa = SimulatedAnnealing::new(AnnealingConfig {
+        let config = AnnealingConfig {
             limits: SearchLimits::unlimited().with_max_points(5),
             seed: 11,
             ..AnnealingConfig::default()
-        });
-        let outcome = sa.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         assert_eq!(outcome.points_evaluated, 5);
         assert_eq!(outcome.stop_condition, StopCondition::PointLimit);
     }
@@ -372,7 +342,11 @@ mod tests {
         let space = SearchSpace::new((0..6).map(Var::new));
         let other = SearchSpace::new((0..4).map(Var::new));
         let mut eval = evaluator(&cnf, 2);
-        let sa = SimulatedAnnealing::new(AnnealingConfig::default());
-        let _ = sa.minimize(&space, &other.full_point(), &mut eval);
+        let _ = minimize(
+            &AnnealingConfig::default(),
+            &space,
+            &other.full_point(),
+            &mut eval,
+        );
     }
 }

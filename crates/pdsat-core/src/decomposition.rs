@@ -91,6 +91,14 @@ impl DecompositionSet {
 
     /// Iterator over the full decomposition family (all `2^d` cubes).
     ///
+    /// The enumeration is in binary counting order over the set's (sorted)
+    /// variables, which is a depth-first traversal of the assignment trie —
+    /// consecutive cubes share the longest possible assumption prefix on
+    /// average, so this order is already optimal for the warm backend's
+    /// assumption-trail reuse (a Gray-code walk has the identical
+    /// shared-prefix profile; see
+    /// [`prefix_schedule_order`](crate::prefix_schedule_order)).
+    ///
     /// # Panics
     ///
     /// Panics if the set has more than 63 variables (enumerating such a

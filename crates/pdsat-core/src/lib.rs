@@ -112,7 +112,7 @@ mod solve_mode;
 mod space;
 mod tabu;
 
-pub use anneal::{Annealing, AnnealingConfig, SimulatedAnnealing, TemperatureScale};
+pub use anneal::{Annealing, AnnealingConfig, TemperatureScale};
 pub use cost::CostMetric;
 pub use decomposition::{CubeIter, DecompositionSet};
 pub use driver::{
@@ -121,8 +121,8 @@ pub use driver::{
 pub use estimator::{normal_cdf, normal_quantile, PredictiveEstimate, SampleStats};
 pub use extrapolate::ParallelSystem;
 pub use oracle::{
-    BackendKind, BackendOutcome, BatchConfig, BatchResult, CubeBackend, CubeOracle, CubeOutcome,
-    FreshBackend, PointCache, VerdictSummary, WarmBackend,
+    prefix_schedule_order, BackendKind, BackendOutcome, BatchConfig, BatchResult, CubeBackend,
+    CubeOracle, CubeOutcome, FreshBackend, PointCache, VerdictSummary, WarmBackend,
 };
 pub use predict::{Evaluator, EvaluatorConfig, PointEvaluation, SampleVerdicts};
 pub use restart::{RandomRestart, RandomRestartConfig};
@@ -131,4 +131,4 @@ pub use search::{
 };
 pub use solve_mode::{solve_cubes, solve_family, FamilySolver, SolveModeConfig, SolveReport};
 pub use space::{Point, SearchSpace};
-pub use tabu::{NewCenterHeuristic, Tabu, TabuConfig, TabuSearch};
+pub use tabu::{NewCenterHeuristic, Tabu, TabuConfig};

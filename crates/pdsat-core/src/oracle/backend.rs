@@ -68,15 +68,20 @@ pub trait CubeBackend: Send {
     ) -> BackendOutcome;
 
     /// Re-arms the backend at a batch boundary, before it is fed the first
-    /// cube of a new batch.
-    ///
-    /// The default is a no-op: both built-in backends are naturally
-    /// re-entrant (a fresh backend rebuilds its solver per cube; a warm
-    /// backend retracts assumptions between cubes and *wants* its learnt
-    /// state to survive). Stateful substrates that cache per-batch data
-    /// (e.g. a remote worker holding an open job ticket, or a backend that
-    /// latched an interrupt) reset it here.
-    fn begin_batch(&mut self) {}
+    /// cube of a new batch: per-batch accumulation (the statistics later
+    /// returned by [`CubeBackend::end_batch`]) is reset here. Stateful
+    /// substrates that cache other per-batch data (e.g. a remote worker
+    /// holding an open job ticket, or a backend that latched an interrupt)
+    /// reset it here too.
+    fn begin_batch(&mut self);
+
+    /// Closes the batch and returns the solver-statistics delta covering
+    /// exactly the cubes fed to this backend since the matching
+    /// [`CubeBackend::begin_batch`]. The executors call this **once per
+    /// batch** per worker — per-cube outcomes carry only the delta needed to
+    /// measure that cube's cost, and the batch aggregate is merged here in
+    /// one step instead of being re-summed cube by cube.
+    fn end_batch(&mut self) -> SolverStats;
 
     /// Which substrate this backend is an instance of.
     fn kind(&self) -> BackendKind;
@@ -115,11 +120,34 @@ impl BackendKind {
 
     /// Builds one backend instance over `cnf` (one per worker, built once
     /// for the worker's lifetime).
+    ///
+    /// `measure_wall_time` selects whether the backend reads the clock
+    /// around every cube to fill [`BackendOutcome::elapsed`]. The oracle
+    /// passes `false` when its cost metric is a deterministic counter —
+    /// at warm-backend throughput (hundreds of nanoseconds per cube once a
+    /// family's lemmas are learnt and trails are reused), the per-cube clock
+    /// reads are a double-digit percentage of the remaining cost.
     #[must_use]
-    pub fn build(self, cnf: &Arc<Cnf>, config: &SolverConfig) -> Box<dyn CubeBackend> {
+    pub fn build(
+        self,
+        cnf: &Arc<Cnf>,
+        config: &SolverConfig,
+        measure_wall_time: bool,
+    ) -> Box<dyn CubeBackend> {
+        // An untimed backend also silences the solver's own per-call
+        // accounting: nothing reads `SolverStats::solve_time` when the cost
+        // comes from counters.
+        let config = SolverConfig {
+            time_accounting: config.time_accounting && measure_wall_time,
+            ..config.clone()
+        };
         match self {
-            BackendKind::Fresh => Box::new(FreshBackend::new(Arc::clone(cnf), config.clone())),
-            BackendKind::Warm => Box::new(WarmBackend::new(cnf, config.clone())),
+            BackendKind::Fresh => Box::new(
+                FreshBackend::new(Arc::clone(cnf), config).with_wall_time(measure_wall_time),
+            ),
+            BackendKind::Warm => {
+                Box::new(WarmBackend::new(cnf, config).with_wall_time(measure_wall_time))
+            }
         }
     }
 }
@@ -146,13 +174,29 @@ impl std::str::FromStr for BackendKind {
 pub struct FreshBackend {
     cnf: Arc<Cnf>,
     config: SolverConfig,
+    /// Sum of the per-cube solver lifetimes of the current batch, handed out
+    /// once at [`CubeBackend::end_batch`].
+    batch_stats: SolverStats,
+    measure_wall_time: bool,
 }
 
 impl FreshBackend {
     /// Creates the backend over `cnf`.
     #[must_use]
     pub fn new(cnf: Arc<Cnf>, config: SolverConfig) -> FreshBackend {
-        FreshBackend { cnf, config }
+        FreshBackend {
+            cnf,
+            config,
+            batch_stats: SolverStats::default(),
+            measure_wall_time: true,
+        }
+    }
+
+    /// Selects per-cube wall-time measurement (see [`BackendKind::build`]).
+    #[must_use]
+    pub fn with_wall_time(mut self, measure: bool) -> FreshBackend {
+        self.measure_wall_time = measure;
+        self
     }
 }
 
@@ -166,18 +210,27 @@ impl CubeBackend for FreshBackend {
     ) -> BackendOutcome {
         // The timer starts before the solver is built: loading the clause
         // database is part of a fresh sub-problem's cost, as in the paper.
-        let start = Instant::now();
+        let start = self.measure_wall_time.then(Instant::now);
         let mut solver = Solver::from_cnf_with_config(&self.cnf, self.config.clone());
-        let verdict = solver.solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
-        let elapsed = start.elapsed();
+        let verdict = solver.solve_limited(cube.lits(), budget, Some(interrupt));
+        let elapsed = start.map_or(Duration::ZERO, |s| s.elapsed());
         for (acc, &c) in conflict_acc.iter_mut().zip(solver.conflict_counts()) {
             *acc += c;
         }
+        self.batch_stats.absorb(solver.stats());
         BackendOutcome {
             verdict,
             stats_delta: *solver.stats(),
             elapsed,
         }
+    }
+
+    fn begin_batch(&mut self) {
+        self.batch_stats = SolverStats::default();
+    }
+
+    fn end_batch(&mut self) -> SolverStats {
+        std::mem::take(&mut self.batch_stats)
     }
 
     fn kind(&self) -> BackendKind {
@@ -193,6 +246,11 @@ pub struct WarmBackend {
     /// Per-variable conflict participation already attributed to earlier
     /// cubes (the solver's counters are cumulative).
     attributed: Vec<u64>,
+    /// Snapshot of the solver's cumulative counters at the last
+    /// [`CubeBackend::begin_batch`]; `end_batch` returns the delta since —
+    /// one O(1) subtraction per batch instead of one absorb per cube.
+    batch_start: SolverStats,
+    measure_wall_time: bool,
 }
 
 impl WarmBackend {
@@ -202,7 +260,16 @@ impl WarmBackend {
         WarmBackend {
             solver: Solver::from_cnf_with_config(cnf, config),
             attributed: vec![0; cnf.num_vars()],
+            batch_start: SolverStats::default(),
+            measure_wall_time: true,
         }
+    }
+
+    /// Selects per-cube wall-time measurement (see [`BackendKind::build`]).
+    #[must_use]
+    pub fn with_wall_time(mut self, measure: bool) -> WarmBackend {
+        self.measure_wall_time = measure;
+        self
     }
 
     /// The persistent solver (e.g. to inspect carried-over learnt clauses).
@@ -220,12 +287,12 @@ impl CubeBackend for WarmBackend {
         interrupt: &InterruptFlag,
         conflict_acc: &mut [u64],
     ) -> BackendOutcome {
-        let start = Instant::now();
+        let start = self.measure_wall_time.then(Instant::now);
         let before = *self.solver.stats();
         let verdict = self
             .solver
-            .solve_limited(&cube.to_assumptions(), budget, Some(interrupt));
-        let elapsed = start.elapsed();
+            .solve_limited(cube.lits(), budget, Some(interrupt));
+        let elapsed = start.map_or(Duration::ZERO, |s| s.elapsed());
         let stats_delta = self.solver.stats().delta_since(&before);
         // Attribute only the *new* conflict participation to this cube, in
         // place — no per-cube allocation. A cube decided without a single
@@ -248,6 +315,14 @@ impl CubeBackend for WarmBackend {
             stats_delta,
             elapsed,
         }
+    }
+
+    fn begin_batch(&mut self) {
+        self.batch_start = *self.solver.stats();
+    }
+
+    fn end_batch(&mut self) -> SolverStats {
+        self.solver.stats().delta_since(&self.batch_start)
     }
 
     fn kind(&self) -> BackendKind {

@@ -42,6 +42,12 @@ pub(super) struct BatchShared {
     /// The cubes of the batch (owned, so the pool threads can outlive the
     /// caller's borrow).
     pub cubes: Vec<Cube>,
+    /// Prefix-aware processing order: position `p` of the batch maps to cube
+    /// `order[p]`. `None` means submission order. Stripes are contiguous
+    /// runs of *positions*, so with the prefix-sorted order each worker's
+    /// stripe is a block of cubes sharing long assumption prefixes — exactly
+    /// what the warm backend's trail reuse feeds on.
+    pub order: Option<Vec<u32>>,
     /// One stripe per participating worker. Worker `i` drains stripe `i`
     /// first and only then steals chunks from other stripes, so in the
     /// steady state (balanced stripes, no stealing) the *same* resident
@@ -65,11 +71,9 @@ pub(super) struct BatchShared {
 impl BatchShared {
     pub(super) fn new(
         cubes: Vec<Cube>,
+        order: Option<Vec<u32>>,
         active_workers: usize,
-        budget: Budget,
-        cost: CostMetric,
-        collect_models: bool,
-        stop_on_sat: bool,
+        config: &super::BatchConfig,
         interrupt: InterruptFlag,
     ) -> BatchShared {
         let active = active_workers.max(1);
@@ -84,14 +88,16 @@ impl BatchShared {
         // `stop_on_sat` is observed promptly: the flag is re-checked before
         // every cube, so a chunk bounds only the claimed-but-unsolved tail).
         let chunk = (cubes.len() / (active * 8)).clamp(1, 32);
+        debug_assert!(order.as_ref().is_none_or(|o| o.len() == cubes.len()));
         BatchShared {
             cubes,
+            order,
             stripes,
             chunk,
-            budget,
-            cost,
-            collect_models,
-            stop_on_sat,
+            budget: config.budget.clone(),
+            cost: config.cost,
+            collect_models: config.collect_models,
+            stop_on_sat: config.stop_on_sat,
             interrupt,
         }
     }
@@ -109,6 +115,14 @@ impl BatchShared {
             }
         }
         None
+    }
+
+    /// The cube index processed at batch position `pos`.
+    fn cube_index(&self, pos: usize) -> usize {
+        match &self.order {
+            Some(order) => order[pos] as usize,
+            None => pos,
+        }
     }
 }
 
@@ -141,6 +155,7 @@ impl WorkerPool {
         cnf: &Arc<Cnf>,
         backend: BackendKind,
         solver_config: &SolverConfig,
+        measure_wall_time: bool,
         num_workers: usize,
     ) -> WorkerPool {
         let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
@@ -153,7 +168,7 @@ impl WorkerPool {
             let solver_config = solver_config.clone();
             handles.push(std::thread::spawn(move || {
                 let num_vars = cnf.num_vars();
-                let mut backend = backend.build(&cnf, &solver_config);
+                let mut backend = backend.build(&cnf, &solver_config, measure_wall_time);
                 while let Ok(shared) = job_rx.recv() {
                     backend.begin_batch();
                     let mut report = WorkerReport {
@@ -165,17 +180,17 @@ impl WorkerPool {
                     // slot order, so this worker's pool index is its stripe
                     // slot.
                     'batch: while let Some(range) = shared.claim(slot) {
-                        for index in range {
+                        for pos in range {
                             if shared.stop_on_sat && shared.interrupt.is_raised() {
                                 break 'batch;
                             }
+                            let index = shared.cube_index(pos);
                             let raw = backend.solve(
                                 &shared.cubes[index],
                                 &shared.budget,
                                 &shared.interrupt,
                                 &mut report.conflict_totals,
                             );
-                            report.stats.absorb(&raw.stats_delta);
                             let outcome =
                                 finish_outcome(index, raw, shared.cost, shared.collect_models);
                             if shared.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
@@ -184,6 +199,9 @@ impl WorkerPool {
                             report.outcomes.push(outcome);
                         }
                     }
+                    // Solver statistics — the new trail-reuse counters
+                    // included — are merged exactly once per batch.
+                    report.stats = backend.end_batch();
                     if result_tx.send(report).is_err() {
                         break; // the oracle is gone
                     }

@@ -74,6 +74,13 @@ pub struct SolveReport {
     /// Wall-clock time of the run with the configured number of workers.
     #[serde(with = "duration_secs")]
     pub wall_time: Duration,
+    /// Assumption literals reused from one cube to the next by the warm
+    /// backend's trail reuse, summed over the family
+    /// (`SolverStats::reused_assumptions`). Zero for the fresh backend.
+    pub reused_assumptions: u64,
+    /// Assumption/propagation replays skipped by trail reuse, summed over
+    /// the family (`SolverStats::saved_propagations`).
+    pub saved_propagations: u64,
     /// A model of the original formula extracted from the first satisfiable
     /// sub-problem, if any.
     #[serde(skip)]
@@ -237,6 +244,8 @@ fn report_from_batch(set: &DecompositionSet, batch: BatchResult) -> SolveReport 
         sat_count,
         unknown_count,
         wall_time: batch.wall_time,
+        reused_assumptions: batch.solver_stats.reused_assumptions,
+        saved_propagations: batch.solver_stats.saved_propagations,
         model,
         per_cube_costs: batch.costs().collect(),
     }

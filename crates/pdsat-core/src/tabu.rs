@@ -1,9 +1,9 @@
 //! Tabu search minimization of the predictive function
 //! (Algorithm 2 of the paper), as a [`Strategy`] for the [`SearchDriver`].
 
-use crate::driver::{Evaluated, Observation, Proposal, SearchContext, SearchDriver, Strategy};
-use crate::search::{SearchLimits, SearchOutcome, StopCondition};
-use crate::{DriverConfig, Evaluator, Point, SearchSpace};
+use crate::driver::{Evaluated, Observation, Proposal, SearchContext, Strategy};
+use crate::search::{SearchLimits, StopCondition};
+use crate::Point;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -24,8 +24,9 @@ pub enum NewCenterHeuristic {
 
 /// Parameters of Algorithm 2.
 ///
-/// `limits` and `seed` are enforced by the [`SearchDriver`]; the
-/// [`TabuSearch::minimize`] shim forwards them automatically.
+/// `limits` and `seed` belong to the [`DriverConfig`] of the
+/// [`SearchDriver`] that runs the strategy; [`Tabu::new`] reads only the
+/// move rule (`radius`, `new_center`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TabuConfig {
     /// Neighbourhood radius ρ (PDSAT uses 1).
@@ -222,60 +223,30 @@ impl Strategy for Tabu {
     }
 }
 
-/// Tabu search minimizer of the predictive function — the historical entry
-/// point, now a thin shim over [`SearchDriver`] + [`Tabu`].
-#[derive(Debug, Clone)]
-pub struct TabuSearch {
-    config: TabuConfig,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SearchDriver;
+    use crate::search::SearchOutcome;
+    use crate::{CostMetric, DriverConfig, Evaluator, EvaluatorConfig, SearchSpace};
+    use pdsat_cnf::{Cnf, Lit, Var};
 
-impl TabuSearch {
-    /// Creates the minimizer with the given configuration.
-    #[must_use]
-    pub fn new(config: TabuConfig) -> TabuSearch {
-        TabuSearch { config }
-    }
-
-    /// The configuration in use.
-    #[must_use]
-    pub fn config(&self) -> &TabuConfig {
-        &self.config
-    }
-
-    /// Runs the minimization from `start` over `space`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `start` has a different dimension than `space` or if the
-    /// configured radius is zero.
-    #[deprecated(
-        since = "0.3.0",
-        note = "drive a `Tabu` strategy through `SearchDriver::run` instead; \
-                this shim is kept for one release"
-    )]
-    pub fn minimize(
-        &self,
+    /// Drives a [`Tabu`] strategy through the [`SearchDriver`] — the one way
+    /// to run Algorithm 2 since the deprecated `TabuSearch::minimize` shim
+    /// was removed.
+    fn minimize(
+        config: &TabuConfig,
         space: &SearchSpace,
         start: &Point,
         evaluator: &mut Evaluator,
     ) -> SearchOutcome {
         let driver = SearchDriver::new(DriverConfig {
-            limits: self.config.limits.clone(),
-            seed: self.config.seed,
+            limits: config.limits.clone(),
+            seed: config.seed,
             ..DriverConfig::default()
         });
-        let mut strategy = Tabu::new(&self.config);
-        driver.run(space, start, &mut strategy, evaluator)
+        driver.run(space, start, &mut Tabu::new(config), evaluator)
     }
-}
-
-#[cfg(test)]
-mod tests {
-    #![allow(deprecated)]
-
-    use super::*;
-    use crate::{CostMetric, EvaluatorConfig};
-    use pdsat_cnf::{Cnf, Lit, Var};
 
     fn pigeonhole() -> Cnf {
         let (pigeons, holes) = (5, 4);
@@ -311,12 +282,12 @@ mod tests {
         let space = SearchSpace::new((0..7).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 8);
-        let tabu = TabuSearch::new(TabuConfig {
+        let config = TabuConfig {
             limits: SearchLimits::unlimited().with_max_points(30),
             seed: 5,
             ..TabuConfig::default()
-        });
-        let outcome = tabu.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         let mut seen = HashSet::new();
         for step in &outcome.history {
             assert!(
@@ -334,12 +305,12 @@ mod tests {
         let space = SearchSpace::new((0..8).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 16);
-        let tabu = TabuSearch::new(TabuConfig {
+        let config = TabuConfig {
             limits: SearchLimits::unlimited().with_max_points(50),
             seed: 2,
             ..TabuConfig::default()
-        });
-        let outcome = tabu.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         assert!(outcome.best_value <= outcome.history[0].value);
         assert!(outcome.points_evaluated <= 50);
         assert_eq!(
@@ -354,12 +325,12 @@ mod tests {
         let space = SearchSpace::new((0..3).map(Var::new));
         let start = space.full_point();
         let mut eval = evaluator(&cnf, 4);
-        let tabu = TabuSearch::new(TabuConfig {
+        let config = TabuConfig {
             limits: SearchLimits::unlimited(),
             seed: 1,
             ..TabuConfig::default()
-        });
-        let outcome = tabu.minimize(&space, &start, &mut eval);
+        };
+        let outcome = minimize(&config, &space, &start, &mut eval);
         // The space has 2^3 = 8 points; all of them end up evaluated.
         assert_eq!(outcome.points_evaluated, 8);
         assert_eq!(outcome.stop_condition, StopCondition::SpaceExhausted);
@@ -376,13 +347,13 @@ mod tests {
             NewCenterHeuristic::Random,
         ] {
             let mut eval = evaluator(&cnf, 4);
-            let tabu = TabuSearch::new(TabuConfig {
+            let config = TabuConfig {
                 new_center: heuristic,
                 limits: SearchLimits::unlimited().with_max_points(20),
                 seed: 9,
                 ..TabuConfig::default()
-            });
-            let outcome = tabu.minimize(&space, &start, &mut eval);
+            };
+            let outcome = minimize(&config, &space, &start, &mut eval);
             assert!(outcome.points_evaluated >= 1);
             assert!(outcome.best_value.is_finite());
         }
@@ -395,12 +366,12 @@ mod tests {
         let start = space.full_point();
         let run = || {
             let mut eval = evaluator(&cnf, 8);
-            let tabu = TabuSearch::new(TabuConfig {
+            let config = TabuConfig {
                 limits: SearchLimits::unlimited().with_max_points(25),
                 seed: 77,
                 ..TabuConfig::default()
-            });
-            let out = tabu.minimize(&space, &start, &mut eval);
+            };
+            let out = minimize(&config, &space, &start, &mut eval);
             (out.best_point.clone(), out.best_value, out.points_evaluated)
         };
         assert_eq!(run(), run());
@@ -412,10 +383,10 @@ mod tests {
         let cnf = pigeonhole();
         let space = SearchSpace::new((0..4).map(Var::new));
         let mut eval = evaluator(&cnf, 2);
-        let tabu = TabuSearch::new(TabuConfig {
+        let config = TabuConfig {
             radius: 0,
             ..TabuConfig::default()
-        });
-        let _ = tabu.minimize(&space, &space.full_point(), &mut eval);
+        };
+        let _ = minimize(&config, &space, &space.full_point(), &mut eval);
     }
 }

@@ -203,9 +203,11 @@ fn edge_case_stop_conditions_match_the_pre_refactor_loops() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn minimize_shims_and_driver_runs_are_interchangeable() {
-    use pdsat_core::{SimulatedAnnealing, TabuSearch};
+fn strategy_instances_are_reusable_across_driver_runs() {
+    // The contract the removed `minimize` shims used to paper over:
+    // `Strategy::initialize` fully resets an instance, so driving the same
+    // strategy object through two identical runs gives the same trajectory
+    // as a freshly built one.
     let cnf = pigeonhole();
     let space = SearchSpace::new((0..6).map(Var::new));
     let start = space.full_point();
@@ -215,43 +217,44 @@ fn minimize_shims_and_driver_runs_are_interchangeable() {
         seed: 21,
         ..AnnealingConfig::default()
     };
-    let mut eval = evaluator(&cnf, 8);
-    let via_shim = SimulatedAnnealing::new(sa_config.clone()).minimize(&space, &start, &mut eval);
-    let mut eval = evaluator(&cnf, 8);
-    let mut strategy = Annealing::new(&sa_config);
-    let via_driver = driver(sa_config.limits.clone(), sa_config.seed).run(
-        &space,
-        &start,
-        &mut strategy,
-        &mut eval,
-    );
-    assert_eq!(via_shim.history.len(), via_driver.history.len());
-    for (a, b) in via_shim.history.iter().zip(&via_driver.history) {
-        assert_eq!(a.point, b.point);
-        assert_eq!(a.value, b.value);
-        assert_eq!(a.accepted, b.accepted);
+    let mut reused = Annealing::new(&sa_config);
+    let run_with = |strategy: &mut Annealing| {
+        let mut eval = evaluator(&cnf, 8);
+        driver(sa_config.limits.clone(), sa_config.seed).run(&space, &start, strategy, &mut eval)
+    };
+    let first = run_with(&mut reused);
+    let again = run_with(&mut reused);
+    let fresh = run_with(&mut Annealing::new(&sa_config));
+    for other in [&again, &fresh] {
+        assert_eq!(first.history.len(), other.history.len());
+        for (a, b) in first.history.iter().zip(&other.history) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.accepted, b.accepted);
+        }
+        assert_eq!(first.best_point, other.best_point);
+        assert_eq!(first.best_value, other.best_value);
     }
-    assert_eq!(via_shim.best_point, via_driver.best_point);
-    assert_eq!(via_shim.best_value, via_driver.best_value);
 
     let tabu_config = TabuConfig {
         limits: SearchLimits::unlimited().with_max_points(18),
         seed: 21,
         ..TabuConfig::default()
     };
-    let mut eval = evaluator(&cnf, 8);
-    let via_shim = TabuSearch::new(tabu_config.clone()).minimize(&space, &start, &mut eval);
-    let mut eval = evaluator(&cnf, 8);
-    let mut strategy = Tabu::new(&tabu_config);
-    let via_driver = driver(tabu_config.limits.clone(), tabu_config.seed).run(
-        &space,
-        &start,
-        &mut strategy,
-        &mut eval,
-    );
-    assert_eq!(via_shim.best_point, via_driver.best_point);
-    assert_eq!(via_shim.best_value, via_driver.best_value);
-    assert_eq!(via_shim.points_evaluated, via_driver.points_evaluated);
+    let mut reused = Tabu::new(&tabu_config);
+    let run_with = |strategy: &mut Tabu| {
+        let mut eval = evaluator(&cnf, 8);
+        driver(tabu_config.limits.clone(), tabu_config.seed)
+            .run(&space, &start, strategy, &mut eval)
+    };
+    let first = run_with(&mut reused);
+    let again = run_with(&mut reused);
+    let fresh = run_with(&mut Tabu::new(&tabu_config));
+    for other in [&again, &fresh] {
+        assert_eq!(first.best_point, other.best_point);
+        assert_eq!(first.best_value, other.best_value);
+        assert_eq!(first.points_evaluated, other.points_evaluated);
+    }
 }
 
 #[test]

@@ -1,0 +1,128 @@
+//! Oracle-level differential suite for trail reuse: a warm backend with
+//! `SolverConfig::trail_reuse` on and one with it off process identical
+//! randomized cube families (same prefix-aware schedule) and must report
+//! bit-identical verdicts and per-cube conflict costs — reuse only skips
+//! the deterministic replay of shared assumption prefixes, never changes
+//! the search. This is the head-to-head the CI bench gate measures for
+//! speed; here it is pinned for answers.
+
+use pdsat_cnf::{Cnf, Cube, Lit, Var};
+use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet};
+use pdsat_solver::{Budget, SolverConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_3cnf(num_vars: usize, num_clauses: usize, rng: &mut StdRng) -> Cnf {
+    let mut cnf = Cnf::new(num_vars);
+    for _ in 0..num_clauses {
+        let mut vars = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        cnf.add_clause(
+            vars.iter()
+                .map(|&v| Lit::new(Var::new(v as u32), rng.gen_bool(0.5))),
+        );
+    }
+    cnf
+}
+
+fn warm_config(trail_reuse: bool, budget: Budget) -> BatchConfig {
+    BatchConfig {
+        cost: CostMetric::Conflicts,
+        backend: BackendKind::Warm,
+        budget,
+        solver_config: SolverConfig {
+            trail_reuse,
+            ..SolverConfig::default()
+        },
+        ..BatchConfig::default()
+    }
+}
+
+#[test]
+fn reuse_on_and_off_report_identical_verdicts_and_costs() {
+    let mut rng = StdRng::seed_from_u64(0x9E05E);
+    let mut reused_total = 0;
+    for round in 0..10 {
+        let num_vars = 12 + (round % 4) * 2;
+        let num_clauses = (num_vars as f64 * (3.4 + 0.3 * (round % 5) as f64)) as usize;
+        let cnf = random_3cnf(num_vars, num_clauses, &mut rng);
+        let mut set_vars = Vec::new();
+        while set_vars.len() < 3 + round % 3 {
+            let v = Var::new(rng.gen_range(0..num_vars as u32));
+            if !set_vars.contains(&v) {
+                set_vars.push(v);
+            }
+        }
+        let set = DecompositionSet::new(set_vars);
+        // A shuffled mix of enumerated and repeated sampled cubes, so the
+        // prefix schedule genuinely reorders and reuse genuinely fires.
+        let mut cubes: Vec<Cube> = set.cubes().collect();
+        cubes.extend(set.random_sample(8, &mut rng));
+        for i in (1..cubes.len()).rev() {
+            cubes.swap(i, rng.gen_range(0..=i));
+        }
+
+        let mut on = CubeOracle::new(&cnf, warm_config(true, Budget::unlimited()));
+        let mut off = CubeOracle::new(&cnf, warm_config(false, Budget::unlimited()));
+        let a = on.solve_batch(&cubes, None);
+        let b = off.solve_batch(&cubes, None);
+
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.verdict, y.verdict, "round {round}: cube {}", x.index);
+            assert_eq!(
+                x.cost, y.cost,
+                "round {round}: cube {} cost diverged under trail reuse",
+                x.index
+            );
+            assert_eq!(x.conflicts, y.conflicts);
+            match (&x.model, &y.model) {
+                (Some(ma), Some(mb)) => {
+                    assert_eq!(ma, mb, "round {round}: models diverged");
+                    assert!(cnf.is_satisfied_by(ma));
+                    for &l in cubes[x.index].lits() {
+                        assert_eq!(ma.lit_value(l).to_bool(), Some(true));
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("round {round}: model presence diverged"),
+            }
+        }
+        assert_eq!(a.var_conflict_totals, b.var_conflict_totals);
+        assert_eq!(a.solver_stats.conflicts, b.solver_stats.conflicts);
+        assert_eq!(a.solver_stats.decisions, b.solver_stats.decisions);
+        assert!(a.solver_stats.propagations <= b.solver_stats.propagations);
+        assert_eq!(b.solver_stats.reused_assumptions, 0);
+        reused_total += a.solver_stats.reused_assumptions;
+    }
+    assert!(
+        reused_total > 0,
+        "the families must actually exercise trail reuse"
+    );
+}
+
+#[test]
+fn reuse_parity_holds_under_conflict_budgets() {
+    // Conflict budgets bite at identical points for both solvers (conflict
+    // counts are bit-identical under reuse), so even Unknown verdicts and
+    // partial costs must agree.
+    let mut rng = StdRng::seed_from_u64(0xB0D6E7);
+    let cnf = random_3cnf(16, 76, &mut rng);
+    let set = DecompositionSet::new((0..4).map(|i| Var::new(i * 3)));
+    let cubes: Vec<Cube> = set.cubes().collect();
+    let budget = Budget::unlimited().with_conflict_limit(2);
+
+    let a = CubeOracle::new(&cnf, warm_config(true, budget.clone())).solve_batch(&cubes, None);
+    let b = CubeOracle::new(&cnf, warm_config(false, budget)).solve_batch(&cubes, None);
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.verdict, y.verdict, "cube {}", x.index);
+        assert_eq!(x.cost, y.cost, "cube {}", x.index);
+    }
+    assert_eq!(a.solver_stats.conflicts, b.solver_stats.conflicts);
+}

@@ -98,23 +98,32 @@ fn warm_pool_state_survives_across_batches() {
     let mut oracle = CubeOracle::new(&cnf, config);
 
     let first = oracle.solve_batch(&cubes, None);
-    let second = oracle.solve_batch(&cubes, None);
-
     assert_eq!(first.outcomes.len(), cubes.len());
-    assert_eq!(second.outcomes.len(), cubes.len());
     assert!(
         first.solver_stats.conflicts > 0,
         "the family must be conflict-heavy for this test to mean anything"
     );
+    // Which worker claims which cubes is scheduling-dependent (chunk
+    // stealing), so a single repeat can legitimately cost *more* than the
+    // first batch — a worker starved in batch 1 solves its stripe cold in
+    // batch 2. What resident backends guarantee is that state accumulates:
+    // after a few repeats every worker has seen the family, so the cheapest
+    // repeat must beat the cold first batch.
+    let mut cheapest_repeat = u64::MAX;
+    for _ in 0..4 {
+        let repeat = oracle.solve_batch(&cubes, None);
+        assert_eq!(repeat.outcomes.len(), cubes.len());
+        // Verdicts are unaffected by the carryover.
+        assert_eq!(first.verdict_counts(), repeat.verdict_counts());
+        cheapest_repeat = cheapest_repeat.min(repeat.solver_stats.conflicts);
+    }
     assert!(
-        second.solver_stats.conflicts < first.solver_stats.conflicts,
-        "warm state did not survive the batch boundary: second batch cost \
-         {} conflicts vs {} for the first",
-        second.solver_stats.conflicts,
+        cheapest_repeat < first.solver_stats.conflicts,
+        "warm state did not survive the batch boundaries: cheapest repeated \
+         batch cost {} conflicts vs {} for the first",
+        cheapest_repeat,
         first.solver_stats.conflicts
     );
-    // Verdicts are unaffected by the carryover.
-    assert_eq!(first.verdict_counts(), second.verdict_counts());
 }
 
 #[test]

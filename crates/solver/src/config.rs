@@ -50,6 +50,26 @@ pub struct SolverConfig {
     /// Fraction of the clause arena that may be occupied by deleted clauses
     /// before a compacting garbage collection runs (MiniSat uses 0.20).
     pub garbage_frac: f64,
+    /// Keep the assumption prefix of the trail assigned between solve calls
+    /// and backtrack only to the point where the next call's assumptions
+    /// diverge from it, instead of replaying every assumption (and its unit
+    /// propagations) from scratch. This is what makes processing a
+    /// decomposition family on one incremental solver cheap: consecutive
+    /// cubes over the same set share most of their literals, so most of the
+    /// assumption trail survives from one cube to the next. The saved prefix
+    /// is invalidated by clause additions and by exits that leave pending
+    /// propagations (see DESIGN.md, "Assumption-prefix trail reuse").
+    /// Verdicts and models are unaffected; `SolverStats::propagations` drops
+    /// by exactly the replay work skipped (tracked in
+    /// `SolverStats::saved_propagations`).
+    pub trail_reuse: bool,
+    /// Accumulate wall-clock time into `SolverStats::solve_time` (default
+    /// `true`). For workloads of thousands of micro-solves per second — a
+    /// warm backend processing a decomposition family — the two clock reads
+    /// per call are a measurable fraction of the per-cube cost; executors
+    /// that measure cost by deterministic counters disable this. A budget
+    /// with a wall-clock deadline still measures time regardless.
+    pub time_accounting: bool,
 }
 
 impl Default for SolverConfig {
@@ -67,6 +87,8 @@ impl Default for SolverConfig {
             min_learnt_limit: 1000,
             protected_lbd: 2,
             garbage_frac: 0.20,
+            trail_reuse: true,
+            time_accounting: true,
         }
     }
 }
@@ -86,6 +108,7 @@ mod tests {
         assert!(cfg.clause_minimization);
         assert!(!cfg.default_polarity);
         assert!((cfg.garbage_frac - 0.20).abs() < 1e-12);
+        assert!(cfg.trail_reuse);
     }
 
     #[test]

@@ -138,6 +138,11 @@ pub struct Solver {
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
+    /// Assumption literals whose decision levels are still established on the
+    /// trail from the previous solve call (`SolverConfig::trail_reuse`):
+    /// `saved_assumptions[i]` owns decision level `i + 1`. Empty when nothing
+    /// is retained; always in sync with `decision_level()` between calls.
+    saved_assumptions: Vec<Lit>,
     var_inc: f64,
     cla_inc: f64,
     ok: bool,
@@ -198,6 +203,7 @@ impl Solver {
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
+            saved_assumptions: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
@@ -257,6 +263,15 @@ impl Solver {
     #[must_use]
     pub fn is_ok(&self) -> bool {
         self.ok
+    }
+
+    /// The assumption literals whose decision levels are still established on
+    /// the trail from the previous solve call ([`SolverConfig::trail_reuse`]).
+    /// The next solve backtracks only to where its assumptions diverge from
+    /// this prefix. Empty when reuse is disabled or nothing was retained.
+    #[must_use]
+    pub fn retained_assumptions(&self) -> &[Lit] {
+        &self.saved_assumptions
     }
 
     /// VSIDS activity of a variable. Higher means the variable participated
@@ -321,13 +336,13 @@ impl Solver {
     /// clauses added so far) makes the formula unsatisfiable at the root
     /// level.
     ///
-    /// # Panics
-    ///
-    /// Panics if called while the solver is not at decision level 0 (which
-    /// cannot happen through the public API: every solve call backtracks to
-    /// level 0 before returning).
+    /// Invalidates any assumption trail retained for reuse
+    /// ([`SolverConfig::trail_reuse`]): the new clause could be falsified or
+    /// unit under the retained assignments, so the solver backtracks to the
+    /// root level before attaching it.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
-        assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        self.cancel_until(0);
+        self.saved_assumptions.clear();
         if !self.ok {
             return false;
         }
@@ -376,6 +391,13 @@ impl Solver {
     /// they were unit clauses, but are retracted afterwards, enabling
     /// incremental use — this is exactly how PDSAT hands the cubes of a
     /// decomposition family to the same solver instance).
+    ///
+    /// With [`SolverConfig::trail_reuse`] (the default), consecutive calls
+    /// sharing an assumption prefix backtrack only to the first diverging
+    /// assumption instead of replaying the whole prefix and its unit
+    /// propagations — the dominant per-cube cost when the cubes of a
+    /// decomposition family are processed in an order that keeps neighbours
+    /// adjacent (see [`SolverStats::reused_assumptions`]).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> Verdict {
         self.solve_limited(assumptions, &Budget::unlimited(), None)
     }
@@ -388,10 +410,17 @@ impl Solver {
         budget: &Budget,
         interrupt: Option<&InterruptFlag>,
     ) -> Verdict {
-        let start = Instant::now();
-        let verdict = self.solve_inner(assumptions, budget, interrupt, start);
-        self.stats.solve_time += start.elapsed();
-        verdict
+        // Clock reads are skipped entirely for untimed micro-solves (see
+        // `SolverConfig::time_accounting`); a wall-clock deadline forces
+        // them back on.
+        if self.config.time_accounting || budget.max_wall_time.is_some() {
+            let start = Instant::now();
+            let verdict = self.solve_inner(assumptions, budget, interrupt, Some(start));
+            self.stats.solve_time += start.elapsed();
+            verdict
+        } else {
+            self.solve_inner(assumptions, budget, interrupt, None)
+        }
     }
 
     fn solve_inner(
@@ -399,7 +428,7 @@ impl Solver {
         assumptions: &[Lit],
         budget: &Budget,
         interrupt: Option<&InterruptFlag>,
-        start: Instant,
+        start: Option<Instant>,
     ) -> Verdict {
         if !self.ok {
             return Verdict::Unsat;
@@ -409,11 +438,14 @@ impl Solver {
                 self.ensure_vars(a.var().index() + 1);
             }
         }
+        self.cancel_until_assumption_divergence(assumptions);
         let limits = Limits {
             conflict_limit: budget.max_conflicts.map(|c| self.stats.conflicts + c),
             propagation_limit: budget.max_propagations.map(|p| self.stats.propagations + p),
             decision_limit: budget.max_decisions.map(|d| self.stats.decisions + d),
-            deadline: budget.max_wall_time.map(|d| start + d),
+            deadline: budget
+                .max_wall_time
+                .map(|d| start.expect("timed solves always capture a start instant") + d),
         };
         self.max_learnts = (self.original.len() as f64 * self.config.learntsize_factor)
             .max(self.config.min_learnt_limit as f64);
@@ -429,20 +461,31 @@ impl Solver {
             match status {
                 SearchStatus::Sat => {
                     let model = self.extract_model();
-                    self.cancel_until(0);
+                    self.retract_after_solve(assumptions);
                     return Verdict::Sat(model);
                 }
                 SearchStatus::Unsat => {
-                    self.cancel_until(0);
+                    self.retract_after_solve(assumptions);
                     return Verdict::Unsat;
                 }
                 SearchStatus::Restart => {
                     self.stats.restarts += 1;
                     curr_restarts += 1;
-                    self.cancel_until(0);
+                    // With trail reuse the established assumption levels
+                    // survive the restart (they would be re-derived
+                    // identically: restarts fire at propagation fixpoints,
+                    // and the assumption prefix of the trail is exactly its
+                    // own propagation closure); without it, restart from the
+                    // root as MiniSat does.
+                    let keep = if self.config.trail_reuse {
+                        self.decision_level().min(assumptions.len() as u32)
+                    } else {
+                        0
+                    };
+                    self.cancel_until(keep);
                 }
                 SearchStatus::Stopped(reason) => {
-                    self.cancel_until(0);
+                    self.retract_after_solve(assumptions);
                     return Verdict::Unknown(reason);
                 }
             }
@@ -844,6 +887,73 @@ impl Solver {
         self.trail_lim.truncate(level as usize);
     }
 
+    /// Trail position of the boundary below decision level `level + 1`, i.e.
+    /// the number of trail literals a `cancel_until(level)` would keep.
+    fn level_bound(&self, level: usize) -> usize {
+        if level < self.trail_lim.len() {
+            self.trail_lim[level]
+        } else {
+            self.trail.len()
+        }
+    }
+
+    /// Backtracks exactly to the point where `assumptions` diverge from the
+    /// assumption trail retained by the previous solve call, instead of to
+    /// the root level. The matching prefix of assumption levels — and every
+    /// unit propagation below it — stays assigned and is *not* replayed; the
+    /// skipped work is accounted in [`SolverStats::reused_assumptions`] and
+    /// [`SolverStats::saved_propagations`].
+    ///
+    /// The retained prefix is exactly the unit-propagation closure of the
+    /// matched assumptions under the current clause database (see DESIGN.md
+    /// for the invariant and why learnt clauses cannot break it), so the
+    /// search continues precisely as if the prefix had been replayed.
+    fn cancel_until_assumption_divergence(&mut self, assumptions: &[Lit]) {
+        debug_assert_eq!(self.saved_assumptions.len(), self.decision_level() as usize);
+        let matched = self
+            .saved_assumptions
+            .iter()
+            .zip(assumptions)
+            .take_while(|(saved, new)| saved == new)
+            .count();
+        self.cancel_until(matched as u32);
+        self.saved_assumptions.truncate(matched);
+        if matched > 0 {
+            self.stats.reused_assumptions += matched as u64;
+            let replay = self.trail.len() - self.level_bound(0);
+            self.stats.saved_propagations += replay as u64;
+        }
+    }
+
+    /// Ends a solve call: without trail reuse (or once the formula is proven
+    /// unsatisfiable at the root) this is MiniSat's `cancel_until(0)`; with
+    /// it, the established assumption levels stay assigned for the next call
+    /// to reuse. Only a fully propagated prefix is retained — an exit right
+    /// after a conflict leaves the asserting literal pending, and keeping an
+    /// unpropagated literal while `qhead` skips past it could let a falsified
+    /// clause go unnoticed in the next call.
+    fn retract_after_solve(&mut self, assumptions: &[Lit]) {
+        if !self.config.trail_reuse || !self.ok {
+            self.cancel_until(0);
+            self.saved_assumptions.clear();
+            return;
+        }
+        let mut keep = (self.decision_level() as usize).min(assumptions.len());
+        while keep > 0 && self.level_bound(keep) > self.qhead {
+            keep -= 1;
+        }
+        self.cancel_until(keep as u32);
+        // `saved_assumptions` still holds the prefix matched on entry, which
+        // is itself a prefix of `assumptions` — extend or trim it instead of
+        // recopying (a full-match repeat touches nothing).
+        if keep >= self.saved_assumptions.len() {
+            self.saved_assumptions
+                .extend_from_slice(&assumptions[self.saved_assumptions.len()..keep]);
+        } else {
+            self.saved_assumptions.truncate(keep);
+        }
+    }
+
     fn pick_branch_lit(&mut self) -> Option<Lit> {
         loop {
             let v = self.order_heap.pop_max(&self.activity)?;
@@ -1216,6 +1326,137 @@ mod tests {
         assert!(s.add_clause([lit(1), lit(1), lit(-2)]));
         assert!(s.add_clause([lit(2), lit(-2)]));
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn trail_reuse_keeps_shared_assumption_prefixes() {
+        // Implication chain x1 → x2 → … → x8: assuming x1 propagates the
+        // whole chain, so replaying it per cube is measurable work.
+        let mut s = Solver::new();
+        for i in 1..8 {
+            s.add_clause([lit(-i), lit(i + 1)]);
+        }
+        assert!(s
+            .solve_with_assumptions(&[lit(1), lit(-9), lit(-10)])
+            .is_sat());
+        assert_eq!(s.retained_assumptions(), &[lit(1), lit(-9), lit(-10)]);
+        let before = *s.stats();
+        // Same first two assumptions, different third: two levels reused,
+        // and the chain propagations below them are not replayed.
+        assert!(s
+            .solve_with_assumptions(&[lit(1), lit(-9), lit(10)])
+            .is_sat());
+        let delta = s.stats().delta_since(&before);
+        assert_eq!(delta.reused_assumptions, 2);
+        assert!(
+            delta.saved_propagations >= 8,
+            "chain replay must be skipped"
+        );
+        // Full match: everything is reused, nothing re-propagated.
+        let before = *s.stats();
+        assert!(s
+            .solve_with_assumptions(&[lit(1), lit(-9), lit(10)])
+            .is_sat());
+        let delta = s.stats().delta_since(&before);
+        assert_eq!(delta.reused_assumptions, 3);
+        assert_eq!(delta.propagations, 0);
+    }
+
+    #[test]
+    fn trail_reuse_is_invalidated_by_clause_additions() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        assert!(s.solve_with_assumptions(&[lit(1), lit(2)]).is_sat());
+        assert_eq!(s.retained_assumptions().len(), 2);
+        // The new clause is unit under the retained trail; adding it must
+        // drop the retained prefix so the next solve sees its propagation.
+        s.add_clause([lit(-1), lit(-2), lit(4)]);
+        assert!(s.retained_assumptions().is_empty());
+        match s.solve_with_assumptions(&[lit(1), lit(2)]) {
+            Verdict::Sat(m) => assert_eq!(m.value(Var::new(3)).to_bool(), Some(true)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // And a contradicting clause must flip the verdict.
+        s.add_clause([lit(-1), lit(-2), lit(-4)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(1), lit(2)]), Verdict::Unsat);
+        assert!(
+            s.solve().is_sat(),
+            "solver stays usable without assumptions"
+        );
+        assert!(s.retained_assumptions().is_empty());
+    }
+
+    #[test]
+    fn trail_reuse_matches_fresh_backtracking_verdicts() {
+        // Every cube over 3 of the pigeonhole variables, solved twice: once
+        // with reuse, once with the MiniSat-style full backtrack.
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 3 + j) as u32));
+        let clauses: Vec<Vec<Lit>> = {
+            let mut cs = Vec::new();
+            for i in 0..4 {
+                cs.push((0..3).map(|j| var(i, j)).collect());
+            }
+            for j in 0..3 {
+                for i1 in 0..4 {
+                    for i2 in (i1 + 1)..4 {
+                        cs.push(vec![!var(i1, j), !var(i2, j)]);
+                    }
+                }
+            }
+            cs
+        };
+        let build = |reuse: bool| {
+            let mut s = Solver::with_config(SolverConfig {
+                trail_reuse: reuse,
+                ..SolverConfig::default()
+            });
+            for c in &clauses {
+                s.add_clause(c.iter().copied());
+            }
+            s
+        };
+        let mut with_reuse = build(true);
+        let mut without = build(false);
+        for bits in 0..8u32 {
+            let cube: Vec<Lit> = (0..3)
+                .map(|k| Lit::new(Var::new(k), bits >> (2 - k) & 1 == 1))
+                .collect();
+            let a = with_reuse.solve_with_assumptions(&cube);
+            let b = without.solve_with_assumptions(&cube);
+            assert_eq!(a, b, "cube {bits:03b}");
+        }
+        assert!(without.retained_assumptions().is_empty());
+        assert!(with_reuse.stats().reused_assumptions > 0);
+        assert_eq!(without.stats().reused_assumptions, 0);
+        assert_eq!(without.stats().saved_propagations, 0);
+    }
+
+    #[test]
+    fn trail_reuse_survives_budget_limited_exits() {
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 4 + j) as u32));
+        let mut s = Solver::new();
+        for i in 0..5 {
+            s.add_clause((0..4).map(|j| var(i, j)));
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        let assumptions = [var(0, 0), var(1, 1)];
+        let budget = Budget::unlimited().with_conflict_limit(2);
+        // The budget bites mid-search; the retained prefix must stay a fully
+        // propagated, reusable state.
+        let first = s.solve_limited(&assumptions, &budget, None);
+        assert!(first.is_unknown());
+        let again = s.solve_limited(&assumptions, &Budget::unlimited(), None);
+        assert_eq!(again, Verdict::Unsat);
+        assert!(s.is_ok(), "assumption UNSAT must not poison the solver");
+        // The pigeonhole formula is unsatisfiable outright too; the solver
+        // must reach that verdict from the retained state.
+        assert_eq!(s.solve(), Verdict::Unsat);
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub struct SolverStats {
     pub minimized_literals: u64,
     /// Number of compacting garbage collections of the clause arena.
     pub gc_runs: u64,
+    /// Number of assumption literals whose decision levels survived from the
+    /// previous solve call (`SolverConfig::trail_reuse`): the summed lengths
+    /// of the reused assumption prefixes.
+    pub reused_assumptions: u64,
+    /// Number of trail literals (assumptions plus their unit propagations)
+    /// that did *not* have to be re-propagated thanks to trail reuse — the
+    /// propagation count a fresh-backtracking solver would have paid on top
+    /// of `propagations`.
+    pub saved_propagations: u64,
     /// Total wall-clock time spent inside `solve` calls.
     #[serde(with = "duration_secs")]
     pub solve_time: Duration,
@@ -59,6 +68,12 @@ impl SolverStats {
                 .minimized_literals
                 .saturating_sub(before.minimized_literals),
             gc_runs: self.gc_runs.saturating_sub(before.gc_runs),
+            reused_assumptions: self
+                .reused_assumptions
+                .saturating_sub(before.reused_assumptions),
+            saved_propagations: self
+                .saved_propagations
+                .saturating_sub(before.saved_propagations),
             solve_time: self.solve_time.saturating_sub(before.solve_time),
         }
     }
@@ -75,6 +90,8 @@ impl SolverStats {
         self.learnt_literals += other.learnt_literals;
         self.minimized_literals += other.minimized_literals;
         self.gc_runs += other.gc_runs;
+        self.reused_assumptions += other.reused_assumptions;
+        self.saved_propagations += other.saved_propagations;
         self.solve_time += other.solve_time;
     }
 }
