@@ -96,6 +96,49 @@ fn bench_solver(c: &mut Criterion) {
         );
     }
 
+    // The same persistent-solver family sweep with inprocessing toggled:
+    // `on` freezes the decomposition set, runs one `simplify()` pass (BVE +
+    // subsumption + vivification), then processes all 1024 cubes; `off` is
+    // the plain sweep. The preprocessing itself runs in the setup phase, so
+    // the head-to-head isolates the steady-state payoff of the smaller
+    // clause database. CI gates `on` against `off` via
+    // `bench_gate --faster-than`.
+    for simplify in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("family_simplify", if simplify { "on" } else { "off" }),
+            &simplify,
+            |b, &simplify| {
+                let instance = bench_bivium_instance();
+                let set = start_set(&instance);
+                let cubes: Vec<_> = set.cubes().collect();
+                let mut solver = Solver::from_cnf_with_config(
+                    instance.cnf(),
+                    SolverConfig {
+                        simplify,
+                        time_accounting: false,
+                        ..SolverConfig::default()
+                    },
+                );
+                if simplify {
+                    for &v in set.vars() {
+                        solver.freeze(v);
+                    }
+                    solver.simplify();
+                }
+                b.iter(|| {
+                    let mut sat = 0u32;
+                    for cube in &cubes {
+                        if solver.solve_with_assumptions(cube.lits()).is_sat() {
+                            sat += 1;
+                        }
+                    }
+                    assert!(sat >= 1);
+                    sat
+                });
+            },
+        );
+    }
+
     // The same 64 sub-problems through the two CubeOracle backends: the
     // fresh/warm gap isolates the per-cube cost of reloading the clause
     // database and relearning, i.e. what PDSAT's long-lived workers save.

@@ -85,6 +85,79 @@ fn bench_solving_mode(c: &mut Criterion) {
         }
     }
 
+    // The inprocessing head-to-head on the default (warm) backend: the
+    // decomposition set is frozen, each worker's resident solver runs one
+    // `simplify()` pass at construction, and the family is then processed as
+    // usual. Preprocessing cost is paid inside `FamilySolver::new` (outside
+    // the timed body), so the rows compare steady-state family cost with and
+    // without the eliminated/subsumed/vivified clause database. CI gates
+    // `on` against `off` for both ciphers (`bench_gate --faster-than`).
+    for (cipher, instance, set) in [
+        ("bivium", &bivium, &bivium_set),
+        ("grain", &grain, &grain_set),
+    ] {
+        for simplify in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{cipher}_family_1024_cubes_simplify"),
+                    if simplify { "on" } else { "off" },
+                ),
+                &simplify,
+                |b, &simplify| {
+                    let config = SolveModeConfig {
+                        cost: CostMetric::Conflicts,
+                        solver_config: SolverConfig {
+                            simplify,
+                            ..SolverConfig::default()
+                        },
+                        frozen_vars: set.vars().to_vec(),
+                        ..SolveModeConfig::default()
+                    };
+                    let mut solver = FamilySolver::new(instance.cnf(), &config);
+                    b.iter(|| {
+                        let report = solver.solve_family(set, None);
+                        assert!(report.sat_count >= 1);
+                        report.total_cost
+                    });
+                },
+            );
+        }
+    }
+
+    // The inprocessing payoff on the *fresh* backend: without simplify every
+    // cube reloads the clause database from the CNF (attach loop included);
+    // with simplify each worker keeps one preprocessed template and clones
+    // it per cube — a flat memcpy of the simplified arena. CI gates `on` at
+    // least 15 % faster than `off` (`bench_gate --faster-than … -15`), the
+    // headline number of the inprocessing PR.
+    for simplify in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "bivium_family_1024_cubes_fresh_simplify",
+                if simplify { "on" } else { "off" },
+            ),
+            &simplify,
+            |b, &simplify| {
+                let config = SolveModeConfig {
+                    cost: CostMetric::Conflicts,
+                    backend: BackendKind::Fresh,
+                    solver_config: SolverConfig {
+                        simplify,
+                        ..SolverConfig::default()
+                    },
+                    frozen_vars: bivium_set.vars().to_vec(),
+                    ..SolveModeConfig::default()
+                };
+                let mut solver = FamilySolver::new(bivium.cnf(), &config);
+                b.iter(|| {
+                    let report = solver.solve_family(&bivium_set, None);
+                    assert!(report.sat_count >= 1);
+                    report.total_cost
+                });
+            },
+        );
+    }
+
     for workers in [1usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("grain_family_1024_cubes_workers", workers),

@@ -147,8 +147,9 @@ fn run(args: &[String]) -> Result<String, String> {
         };
         checked += 1;
         let change = 100.0 * (median - base) / base;
+        let ratio = median / base;
         report.push_str(&format!(
-            "  {id}: baseline {base:.0} ns, current {median:.0} ns ({change:+.1} %)\n"
+            "  {id}: baseline {base:.0} ns, current {median:.0} ns ({change:+.1} %, {ratio:.2}x)\n"
         ));
         if *median > base * (1.0 + allowed / 100.0) {
             failures.push(format!(
@@ -233,6 +234,11 @@ mod tests {
         };
         assert!(run(&args("10")).is_ok());
         assert!(run(&args("2")).is_err());
+
+        // The success report carries one line per matched row with the
+        // baseline/current medians and their ratio.
+        let report = run(&args("10")).unwrap();
+        assert!(report.contains("baseline 3000000 ns, current 3150000 ns (+5.0 %, 1.05x)"));
     }
 
     #[test]

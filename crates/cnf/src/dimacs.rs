@@ -216,10 +216,66 @@ mod tests {
     }
 
     #[test]
+    fn skips_blank_lines_and_interleaved_comments() {
+        let text = "c leading comment\n\n   \np cnf 2 2\nc between clauses\n1 2 0\n\n% SATLIB-style trailer\n-1 0\n";
+        let cnf = parse_str(text).unwrap();
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn comment_markers_must_start_the_line() {
+        // `c` glued to literals is a token, not a comment.
+        assert!(matches!(
+            parse_str("p cnf 2 1\n1 c 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+    }
+
+    #[test]
     fn rejects_bad_header() {
         assert!(matches!(
             parse_str("p cnf x 2\n1 0\n"),
             Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        // Missing the clause count entirely.
+        assert!(matches!(
+            parse_str("p cnf 3\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        // Missing both counts.
+        assert!(matches!(
+            parse_str("p cnf\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_format_keyword() {
+        assert!(matches!(
+            parse_str("p sat 3 1\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn headerless_document_still_parses_clauses() {
+        // The header is how most files declare sizes, but a missing header
+        // only means no variable-range checking; clauses still load.
+        let cnf = parse_str("1 -2 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn header_line_number_is_reported_after_comments() {
+        assert!(matches!(
+            parse_str("c one\nc two\np cnf oops 1\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 3 })
         ));
     }
 
@@ -248,6 +304,35 @@ mod tests {
                 declared: 2
             })
         ));
+        // The polarity of the offending literal does not matter.
+        assert!(matches!(
+            parse_str("p cnf 2 1\n-3 0\n"),
+            Err(ParseDimacsError::VariableOutOfRange {
+                var: 3,
+                declared: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_numeric_garbage_and_overflow() {
+        assert!(matches!(
+            parse_str("p cnf 2 1\n1 99999999999999999999999 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_str("p cnf 2 1\n1 2.5 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn tolerates_clause_count_mismatch_and_extra_whitespace() {
+        // Real-world headers often miscount clauses; tabs and runs of spaces
+        // between tokens are all legal separators.
+        let cnf = parse_str("p cnf 3 99\n  1\t-2   3 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBa
 pub use cache::PointCache;
 
 use crate::CostMetric;
-use pdsat_cnf::{Assignment, Cnf, Cube};
+use pdsat_cnf::{Assignment, Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats, Verdict};
 use pool::{BatchShared, WorkerPool};
 use serde::{Deserialize, Serialize};
@@ -161,6 +161,17 @@ pub struct BatchConfig {
     /// Which [`CubeBackend`] each worker runs (see [`BackendKind`] for the
     /// fresh-vs-warm trade-off).
     pub backend: BackendKind,
+    /// Variables the batches will assume over (the decomposition set). With
+    /// [`SolverConfig::simplify`] enabled, every backend freezes them before
+    /// its one-shot preprocessing pass so they survive variable elimination;
+    /// otherwise the list is unused. Leaving it empty with simplify on is
+    /// only safe when no assumptions are ever made.
+    pub frozen_vars: Vec<Var>,
+    /// Maximum number of entries the point cache may hold before the oldest
+    /// entries are evicted (FIFO). Long annealing/tabu runs visit an
+    /// unbounded stream of points; the cap keeps the cache's memory bounded
+    /// while recent revisits (the common kind) still hit.
+    pub point_cache_capacity: usize,
     /// Process warm-backend batches in prefix-sorted order (default `true`):
     /// cubes are scheduled sorted by their assumption literals, so
     /// consecutive solves on one worker share the longest possible
@@ -186,6 +197,8 @@ impl Default for BatchConfig {
             collect_models: true,
             stop_on_sat: false,
             backend: BackendKind::Fresh,
+            frozen_vars: Vec::new(),
+            point_cache_capacity: 65_536,
             prefix_schedule: true,
         }
     }
@@ -353,6 +366,7 @@ impl CubeOracle {
             Executor::Sequential(config.backend.build(
                 &cnf,
                 &config.solver_config,
+                &config.frozen_vars,
                 measure_wall_time,
             ))
         } else {
@@ -360,10 +374,12 @@ impl CubeOracle {
                 &cnf,
                 config.backend,
                 &config.solver_config,
+                &config.frozen_vars,
                 measure_wall_time,
                 effective_workers,
             ))
         };
+        let point_cache = PointCache::with_capacity(config.point_cache_capacity);
         CubeOracle {
             cnf,
             config,
@@ -371,7 +387,7 @@ impl CubeOracle {
             total_stats: SolverStats::default(),
             batches: 0,
             cubes_solved: 0,
-            point_cache: PointCache::new(),
+            point_cache,
         }
     }
 

@@ -17,7 +17,7 @@
 //! analogue of PDSAT's long-lived MiniSat worker processes. The full
 //! behavioural contract lives in DESIGN.md ("CubeBackend contract").
 
-use pdsat_cnf::{Cnf, Cube};
+use pdsat_cnf::{Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, SolverStats, Verdict};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -121,6 +121,11 @@ impl BackendKind {
     /// Builds one backend instance over `cnf` (one per worker, built once
     /// for the worker's lifetime).
     ///
+    /// `frozen` lists the variables the caller will assume over (the
+    /// decomposition set): with [`SolverConfig::simplify`] enabled, backends
+    /// freeze them before the preprocessing pass so they survive variable
+    /// elimination and stay legal assumption targets.
+    ///
     /// `measure_wall_time` selects whether the backend reads the clock
     /// around every cube to fill [`BackendOutcome::elapsed`]. The oracle
     /// passes `false` when its cost metric is a deterministic counter —
@@ -132,6 +137,7 @@ impl BackendKind {
         self,
         cnf: &Arc<Cnf>,
         config: &SolverConfig,
+        frozen: &[Var],
         measure_wall_time: bool,
     ) -> Box<dyn CubeBackend> {
         // An untimed backend also silences the solver's own per-call
@@ -143,11 +149,12 @@ impl BackendKind {
         };
         match self {
             BackendKind::Fresh => Box::new(
-                FreshBackend::new(Arc::clone(cnf), config).with_wall_time(measure_wall_time),
+                FreshBackend::with_frozen(Arc::clone(cnf), config, frozen)
+                    .with_wall_time(measure_wall_time),
             ),
-            BackendKind::Warm => {
-                Box::new(WarmBackend::new(cnf, config).with_wall_time(measure_wall_time))
-            }
+            BackendKind::Warm => Box::new(
+                WarmBackend::with_frozen(cnf, config, frozen).with_wall_time(measure_wall_time),
+            ),
         }
     }
 }
@@ -171,9 +178,20 @@ impl std::str::FromStr for BackendKind {
 }
 
 /// The fresh-solver backend: builds a new [`Solver`] for every cube.
+///
+/// With [`SolverConfig::simplify`] enabled, the formula is loaded, frozen
+/// over the decomposition set and preprocessed **once** into a template
+/// solver, and each cube gets a clone of the template — the per-cube setup
+/// drops from "parse and attach every clause" to one memcpy-style clone of
+/// an already-shrunken instance, while each cube still starts from identical
+/// state (the property the Monte Carlo estimator needs).
 pub struct FreshBackend {
     cnf: Arc<Cnf>,
     config: SolverConfig,
+    /// The preprocessed instance cloned per cube, with the stats baseline to
+    /// subtract so per-cube deltas exclude the one-off simplification work.
+    /// `None` when `config.simplify` is off (plain rebuild-per-cube path).
+    template: Option<(Solver, SolverStats)>,
     /// Sum of the per-cube solver lifetimes of the current batch, handed out
     /// once at [`CubeBackend::end_batch`].
     batch_stats: SolverStats,
@@ -181,12 +199,29 @@ pub struct FreshBackend {
 }
 
 impl FreshBackend {
-    /// Creates the backend over `cnf`.
+    /// Creates the backend over `cnf` with no frozen variables.
     #[must_use]
     pub fn new(cnf: Arc<Cnf>, config: SolverConfig) -> FreshBackend {
+        FreshBackend::with_frozen(cnf, config, &[])
+    }
+
+    /// Creates the backend over `cnf`, freezing `frozen` (the variables later
+    /// assumed over) before the optional preprocessing pass.
+    #[must_use]
+    pub fn with_frozen(cnf: Arc<Cnf>, config: SolverConfig, frozen: &[Var]) -> FreshBackend {
+        let template = config.simplify.then(|| {
+            let mut solver = Solver::from_cnf_with_config(&cnf, config.clone());
+            for &v in frozen {
+                solver.freeze(v);
+            }
+            solver.simplify();
+            let base = *solver.stats();
+            (solver, base)
+        });
         FreshBackend {
             cnf,
             config,
+            template,
             batch_stats: SolverStats::default(),
             measure_wall_time: true,
         }
@@ -208,19 +243,30 @@ impl CubeBackend for FreshBackend {
         interrupt: &InterruptFlag,
         conflict_acc: &mut [u64],
     ) -> BackendOutcome {
-        // The timer starts before the solver is built: loading the clause
-        // database is part of a fresh sub-problem's cost, as in the paper.
+        // The timer starts before the solver is built: loading (or cloning)
+        // the clause database is part of a fresh sub-problem's cost, as in
+        // the paper.
         let start = self.measure_wall_time.then(Instant::now);
-        let mut solver = Solver::from_cnf_with_config(&self.cnf, self.config.clone());
+        let (mut solver, base) = match &self.template {
+            Some((template, base)) => (template.clone(), *base),
+            None => (
+                Solver::from_cnf_with_config(&self.cnf, self.config.clone()),
+                SolverStats::default(),
+            ),
+        };
         let verdict = solver.solve_limited(cube.lits(), budget, Some(interrupt));
         let elapsed = start.map_or(Duration::ZERO, |s| s.elapsed());
+        // The template accumulates no conflict participation (simplification
+        // never runs conflict analysis), so the clone's counters are entirely
+        // this cube's.
         for (acc, &c) in conflict_acc.iter_mut().zip(solver.conflict_counts()) {
             *acc += c;
         }
-        self.batch_stats.absorb(solver.stats());
+        let stats_delta = solver.stats().delta_since(&base);
+        self.batch_stats.absorb(&stats_delta);
         BackendOutcome {
             verdict,
-            stats_delta: *solver.stats(),
+            stats_delta,
             elapsed,
         }
     }
@@ -257,8 +303,24 @@ impl WarmBackend {
     /// Creates the backend, loading `cnf` into the persistent solver once.
     #[must_use]
     pub fn new(cnf: &Cnf, config: SolverConfig) -> WarmBackend {
+        WarmBackend::with_frozen(cnf, config, &[])
+    }
+
+    /// Creates the backend, freezing `frozen` (the variables later assumed
+    /// over) and running the one-shot preprocessing pass when
+    /// [`SolverConfig::simplify`] is enabled.
+    #[must_use]
+    pub fn with_frozen(cnf: &Cnf, config: SolverConfig, frozen: &[Var]) -> WarmBackend {
+        let simplify = config.simplify;
+        let mut solver = Solver::from_cnf_with_config(cnf, config);
+        if simplify {
+            for &v in frozen {
+                solver.freeze(v);
+            }
+            solver.simplify();
+        }
         WarmBackend {
-            solver: Solver::from_cnf_with_config(cnf, config),
+            solver,
             attributed: vec![0; cnf.num_vars()],
             batch_start: SolverStats::default(),
             measure_wall_time: true,

@@ -23,7 +23,7 @@
 use super::backend::BackendKind;
 use super::{finish_outcome, CubeOutcome, VerdictSummary};
 use crate::CostMetric;
-use pdsat_cnf::{Cnf, Cube};
+use pdsat_cnf::{Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -155,6 +155,7 @@ impl WorkerPool {
         cnf: &Arc<Cnf>,
         backend: BackendKind,
         solver_config: &SolverConfig,
+        frozen_vars: &[Var],
         measure_wall_time: bool,
         num_workers: usize,
     ) -> WorkerPool {
@@ -166,9 +167,11 @@ impl WorkerPool {
             let result_tx = result_tx.clone();
             let cnf = Arc::clone(cnf);
             let solver_config = solver_config.clone();
+            let frozen_vars = frozen_vars.to_vec();
             handles.push(std::thread::spawn(move || {
                 let num_vars = cnf.num_vars();
-                let mut backend = backend.build(&cnf, &solver_config, measure_wall_time);
+                let mut backend =
+                    backend.build(&cnf, &solver_config, &frozen_vars, measure_wall_time);
                 while let Ok(shared) = job_rx.recv() {
                     backend.begin_batch();
                     let mut report = WorkerReport {

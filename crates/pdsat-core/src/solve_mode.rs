@@ -9,7 +9,7 @@
 
 use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
 use crate::{BatchResult, CostMetric, DecompositionSet};
-use pdsat_cnf::{Assignment, Cnf, Cube};
+use pdsat_cnf::{Assignment, Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -35,6 +35,10 @@ pub struct SolveModeConfig {
     /// per worker matches PDSAT's long-lived MiniSat worker processes and is
     /// much faster than reloading the clause database for every cube.
     pub backend: BackendKind,
+    /// Variables frozen in every backend before preprocessing. Callers must
+    /// list the decomposition set here when `solver_config.simplify` is on,
+    /// or the cube assumptions may land on eliminated variables.
+    pub frozen_vars: Vec<Var>,
 }
 
 impl Default for SolveModeConfig {
@@ -46,6 +50,7 @@ impl Default for SolveModeConfig {
             num_workers: 1,
             stop_on_sat: false,
             backend: BackendKind::Warm,
+            frozen_vars: Vec::new(),
         }
     }
 }
@@ -133,6 +138,7 @@ impl FamilySolver {
             collect_models: true,
             stop_on_sat: config.stop_on_sat,
             backend: config.backend,
+            frozen_vars: config.frozen_vars.clone(),
             ..BatchConfig::default()
         };
         FamilySolver {

@@ -81,7 +81,7 @@ impl ClauseRef {
 }
 
 /// Arena of clauses (original and learnt).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ClauseDb {
     data: Vec<u32>,
     /// Number of live clauses.

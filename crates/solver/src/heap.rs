@@ -8,7 +8,7 @@ use pdsat_cnf::Var;
 /// variable indices, `positions` maps a variable to its slot (or
 /// `usize::MAX` when absent) so membership tests and `decrease`/`increase`
 /// operations are O(1)/O(log n).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct VarOrderHeap {
     heap: Vec<u32>,
     positions: Vec<usize>,

@@ -40,6 +40,16 @@ pub struct SolverStats {
     /// propagation count a fresh-backtracking solver would have paid on top
     /// of `propagations`.
     pub saved_propagations: u64,
+    /// Number of variables removed by bounded variable elimination during
+    /// `simplify` passes (their models are re-extended from the elimination
+    /// stack).
+    pub eliminated_vars: u64,
+    /// Number of clauses deleted because another clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Number of clauses shortened by self-subsuming resolution.
+    pub strengthened_clauses: u64,
+    /// Number of literals removed from clauses by vivification.
+    pub vivified_lits: u64,
     /// Total wall-clock time spent inside `solve` calls.
     #[serde(with = "duration_secs")]
     pub solve_time: Duration,
@@ -74,6 +84,14 @@ impl SolverStats {
             saved_propagations: self
                 .saved_propagations
                 .saturating_sub(before.saved_propagations),
+            eliminated_vars: self.eliminated_vars.saturating_sub(before.eliminated_vars),
+            subsumed_clauses: self
+                .subsumed_clauses
+                .saturating_sub(before.subsumed_clauses),
+            strengthened_clauses: self
+                .strengthened_clauses
+                .saturating_sub(before.strengthened_clauses),
+            vivified_lits: self.vivified_lits.saturating_sub(before.vivified_lits),
             solve_time: self.solve_time.saturating_sub(before.solve_time),
         }
     }
@@ -92,6 +110,10 @@ impl SolverStats {
         self.gc_runs += other.gc_runs;
         self.reused_assumptions += other.reused_assumptions;
         self.saved_propagations += other.saved_propagations;
+        self.eliminated_vars += other.eliminated_vars;
+        self.subsumed_clauses += other.subsumed_clauses;
+        self.strengthened_clauses += other.strengthened_clauses;
+        self.vivified_lits += other.vivified_lits;
         self.solve_time += other.solve_time;
     }
 }
