@@ -1,10 +1,12 @@
 //! Distributed-substrate benchmark (§4.2): the cluster list-scheduling
-//! simulator and the BOINC-style volunteer grid simulator on family-sized
-//! job lists.
+//! simulator, the BOINC-style volunteer grid simulator, and the sharded
+//! coordinator's sustained work-unit throughput on family-sized job lists.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdsat_distrib::{
-    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig, GridConfig,
+    simulate_cluster, simulate_volunteer_grid, synthetic_family_solver, synthetic_host_population,
+    ClusterConfig, Coordinator, CoordinatorConfig, GridConfig, LoopbackConfig, LoopbackTransport,
+    RunStatus,
 };
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -41,6 +43,39 @@ fn bench_distrib(c: &mut Criterion) {
             },
         );
     }
+
+    // Sustained coordinator throughput: one full family processed through
+    // lease issue / expiry / quorum / checkpoint bookkeeping over the
+    // chaotic loopback grid. One iteration completes 256 work units, so
+    // median_ns / 256 is the per-work-unit coordination overhead.
+    let units = 256usize;
+    let costs = job_list(units * 8);
+    group.bench_with_input(
+        BenchmarkId::new("coordinator_work_units_48_hosts", units),
+        &costs,
+        |b, costs| {
+            let config = CoordinatorConfig {
+                work_unit_size: 8,
+                redundancy: 2,
+                lease_timeout: 2_000.0,
+            };
+            b.iter(|| {
+                let mut coordinator = Coordinator::new(3, costs.len(), &config);
+                let mut transport = LoopbackTransport::new(
+                    LoopbackConfig {
+                        num_clients: 48,
+                        seed: 7,
+                        poll_interval: 200.0,
+                        ..LoopbackConfig::default()
+                    },
+                    synthetic_family_solver(3, costs.clone(), None),
+                );
+                let status = coordinator.run(&mut transport, None);
+                assert_eq!(status, RunStatus::Complete);
+                coordinator.stats().makespan
+            });
+        },
+    );
 
     group.finish();
 }

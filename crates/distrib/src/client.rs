@@ -1,0 +1,244 @@
+//! Simulated volunteer clients for the loopback transport.
+//!
+//! Each client wraps one [`Host`] (speed/availability/reliability, drawn from
+//! the same [`synthetic_host_population`](crate::synthetic_host_population)
+//! the legacy grid simulator uses) plus the behavioural pathologies BOINC
+//! operators fight daily: availability gaps between tasks, stragglers that
+//! run an order of magnitude slower than the host's benchmark, permanent
+//! churn, results that vanish, duplicate uploads, and corrupted uploads. All
+//! decisions are drawn from a per-client seeded RNG, so a population's
+//! behaviour is a pure function of its seed.
+
+use crate::volunteer::Host;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities and magnitudes of volunteer-client pathologies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientBehavior {
+    /// Probability that a finished client takes a break before re-polling.
+    pub gap_prob: f64,
+    /// Maximum break length, seconds (actual gaps are uniform in `[0, max]`).
+    pub gap_max: f64,
+    /// Probability that a run straggles (e.g. the volunteer throttled the
+    /// client or suspended the VM).
+    pub straggler_prob: f64,
+    /// Slow-down factor of a straggling run.
+    pub straggler_factor: f64,
+    /// Probability that the client permanently leaves the grid (checked once
+    /// per client; the departure instant is uniform in `[0, churn_horizon]`).
+    pub churn_prob: f64,
+    /// Latest possible departure instant, seconds.
+    pub churn_horizon: f64,
+    /// Minimum outage after a result vanishes with its host before that host
+    /// polls again, seconds.
+    pub vanish_outage: f64,
+    /// Probability that a submitted result is uploaded twice.
+    pub duplicate_prob: f64,
+    /// Delay of the duplicate upload after the original, seconds.
+    pub duplicate_delay: f64,
+    /// Probability that an upload fails its integrity check (the coordinator
+    /// discards it and the unit needs another result).
+    pub invalid_prob: f64,
+}
+
+impl Default for ClientBehavior {
+    fn default() -> Self {
+        ClientBehavior {
+            gap_prob: 0.3,
+            gap_max: 1_800.0,
+            straggler_prob: 0.05,
+            straggler_factor: 8.0,
+            churn_prob: 0.15,
+            churn_horizon: 250_000.0,
+            vanish_outage: 3_600.0,
+            duplicate_prob: 0.04,
+            duplicate_delay: 120.0,
+            invalid_prob: 0.03,
+        }
+    }
+}
+
+impl ClientBehavior {
+    /// A perfectly behaved client: no gaps, no stragglers, no churn, no
+    /// duplicates, no invalid uploads. With an ideal [`Host`] this reduces
+    /// the loopback grid to greedy list scheduling, which is what the parity
+    /// test against the legacy simulator pins down.
+    #[must_use]
+    pub fn ideal() -> ClientBehavior {
+        ClientBehavior {
+            gap_prob: 0.0,
+            gap_max: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            churn_prob: 0.0,
+            churn_horizon: 0.0,
+            vanish_outage: 0.0,
+            duplicate_prob: 0.0,
+            duplicate_delay: 0.0,
+            invalid_prob: 0.0,
+        }
+    }
+}
+
+/// What a client does with an assignment (decided the moment the lease is
+/// granted; the simulation has no reason to defer the dice rolls).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientFate {
+    /// The client left the grid for good; the result never arrives and the
+    /// client never polls again. The lease expires server-side.
+    Departed,
+    /// The host crunched (part of) the unit but the result vanished — lost
+    /// upload, crashed client. It polls again once the outage is over.
+    Vanished {
+        /// When the client asks for work again.
+        rejoin_at: f64,
+        /// CPU time burned on the lost run, reference-core seconds.
+        cpu_spent: f64,
+    },
+    /// The client finishes the unit and uploads the result.
+    Submit {
+        /// Upload instant.
+        at: f64,
+        /// Whether the upload passes the integrity check.
+        valid: bool,
+        /// Whether the run straggled (took `straggler_factor` longer).
+        straggled: bool,
+        /// When a duplicate upload of the same result arrives, if any.
+        duplicate_at: Option<f64>,
+        /// When the client polls for its next unit.
+        next_poll: f64,
+        /// CPU time of the run, reference-core seconds.
+        cpu_spent: f64,
+    },
+}
+
+/// One simulated volunteer client.
+#[derive(Debug, Clone)]
+pub struct VolunteerClient {
+    id: usize,
+    host: Host,
+    behavior: ClientBehavior,
+    rng: StdRng,
+    departs_at: f64,
+    departed: bool,
+}
+
+impl VolunteerClient {
+    /// Creates the client. Its RNG stream is derived from the population
+    /// seed and the client id, so adding clients never perturbs the
+    /// behaviour of existing ones.
+    #[must_use]
+    pub fn new(id: usize, host: Host, behavior: ClientBehavior, population_seed: u64) -> Self {
+        let stream = population_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(stream);
+        let departs_at = if behavior.churn_prob > 0.0 && rng.gen_bool(behavior.churn_prob) {
+            behavior.churn_horizon * rng.gen::<f64>()
+        } else {
+            f64::INFINITY
+        };
+        VolunteerClient {
+            id,
+            host,
+            behavior,
+            rng,
+            departs_at,
+            departed: false,
+        }
+    }
+
+    /// The client's id within its population.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The host this client runs on.
+    #[must_use]
+    pub fn host(&self) -> Host {
+        self.host
+    }
+
+    /// `true` once the client has permanently left the grid.
+    #[must_use]
+    pub fn has_departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Decides the fate of a unit assigned at `now` whose canonical cost is
+    /// `unit_cost` reference-core seconds.
+    ///
+    /// Every stochastic decision is drawn before branching, so the number of
+    /// RNG draws per assignment is constant and the client's behaviour
+    /// stream does not depend on which branch earlier assignments took.
+    pub fn respond(&mut self, now: f64, unit_cost: f64) -> ClientFate {
+        let straggled = self.behavior.straggler_prob > 0.0
+            && self
+                .rng
+                .gen_bool(self.behavior.straggler_prob.clamp(0.0, 1.0));
+        let returns = self.rng.gen_bool(self.host.reliability.clamp(0.0, 1.0));
+        let valid = !(self.behavior.invalid_prob > 0.0
+            && self
+                .rng
+                .gen_bool(self.behavior.invalid_prob.clamp(0.0, 1.0)));
+        let duplicates = self.behavior.duplicate_prob > 0.0
+            && self
+                .rng
+                .gen_bool(self.behavior.duplicate_prob.clamp(0.0, 1.0));
+        let gap_draw = self.rng.gen::<f64>();
+        let takes_gap = self.behavior.gap_prob > 0.0
+            && self.rng.gen_bool(self.behavior.gap_prob.clamp(0.0, 1.0));
+
+        if now >= self.departs_at {
+            self.departed = true;
+            return ClientFate::Departed;
+        }
+
+        let factor = if straggled {
+            self.behavior.straggler_factor.max(1.0)
+        } else {
+            1.0
+        };
+        let duration = unit_cost / self.host.effective_speed().max(1e-9) * factor;
+        let cpu_spent = duration;
+        if !returns {
+            return ClientFate::Vanished {
+                rejoin_at: now + duration.max(self.behavior.vanish_outage),
+                cpu_spent,
+            };
+        }
+        let at = now + duration;
+        let gap = if takes_gap {
+            self.behavior.gap_max * gap_draw
+        } else {
+            0.0
+        };
+        ClientFate::Submit {
+            at,
+            valid,
+            straggled,
+            duplicate_at: duplicates.then_some(at + self.behavior.duplicate_delay),
+            next_poll: at + gap,
+            cpu_spent,
+        }
+    }
+}
+
+/// Draws a full simulated client population: hosts from
+/// [`synthetic_host_population`](crate::synthetic_host_population) (the same
+/// heavy-tailed model the legacy grid simulator samples) wrapped in seeded
+/// behaviour streams.
+#[must_use]
+pub fn volunteer_population(
+    count: usize,
+    seed: u64,
+    behavior: ClientBehavior,
+) -> Vec<VolunteerClient> {
+    crate::volunteer::synthetic_host_population(count, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, host)| VolunteerClient::new(id, host, behavior, seed))
+        .collect()
+}

@@ -1,0 +1,675 @@
+//! The sharded, checkpointed distributed-solving coordinator — the
+//! reproduction's stand-in for SAT@home's server side.
+//!
+//! A decomposition family (identified by its per-cube enumeration order) is
+//! sharded into [`WorkUnit`]s of `work_unit_size` consecutive cubes. The
+//! coordinator leases units to volunteer clients through a pluggable
+//! [`Transport`], re-issues leases that expire, validates results against a
+//! BOINC-style redundancy quorum, and aggregates the per-unit
+//! [`SolveReport`]s idempotently (dedup keyed on work-unit id) into the
+//! report of the whole family via [`SolveReport::merge_ordered`].
+//!
+//! Progress is durable: the set of completed units *is* the
+//! [`CoordinatorCheckpoint`], which serializes to a line-oriented text form
+//! that restores bit-for-bit. Killing the coordinator mid-run and resuming
+//! from its last checkpoint re-leases only the unfinished units and yields a
+//! final aggregate identical to an uninterrupted run.
+
+use crate::lease::{LeaseTable, ResultDisposition};
+use crate::transport::{ClientMsg, ServerMsg, Timed, Transport, WorkUnit, WorkUnitId};
+use pdsat_cnf::{Assignment, Value, Var};
+use pdsat_core::SolveReport;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Configuration of a coordinator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Number of consecutive cubes bundled into one work unit.
+    pub work_unit_size: usize,
+    /// Valid results required per unit from distinct clients (BOINC quorum;
+    /// SAT@home used replication 2).
+    pub redundancy: usize,
+    /// Lease lifetime, seconds; an expired lease makes its unit assignable
+    /// again.
+    pub lease_timeout: f64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            work_unit_size: 8,
+            redundancy: 2,
+            lease_timeout: 86_400.0,
+        }
+    }
+}
+
+/// How a coordinator run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every work unit reached its quorum; the aggregate is available.
+    Complete,
+    /// The event budget ran out first (the "kill" of a kill/restart test —
+    /// checkpoint and resume with a fresh coordinator).
+    OutOfEvents,
+    /// The transport went silent with units incomplete (every client gone
+    /// and none replaced).
+    Starved,
+}
+
+/// Observational counters of one coordinator run segment. Not part of the
+/// checkpoint: a resumed run reports its own segment only.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoordinatorStats {
+    /// Leases handed out.
+    pub assignments: usize,
+    /// `NoWork` replies sent to polling clients.
+    pub no_work_replies: usize,
+    /// Leases that expired and were re-issued.
+    pub expired_leases: usize,
+    /// Results discarded by validation.
+    pub invalid_results: usize,
+    /// Results discarded because the client had already contributed to the
+    /// unit (duplicate uploads) or the unit was already complete.
+    pub duplicate_results: usize,
+    /// Valid results that arrived after their lease expired but still
+    /// counted.
+    pub late_results: usize,
+    /// Messages processed in this segment.
+    pub events_processed: u64,
+    /// Simulated instant the last quorum was reached (0 if none yet).
+    pub makespan: f64,
+}
+
+/// The durable state of a coordinator: everything needed to resume after a
+/// crash without losing completed work units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorCheckpoint {
+    /// Decomposition-set size of the family (shared by every unit report).
+    pub set_size: usize,
+    /// Number of cubes in the whole family.
+    pub total_cubes: usize,
+    /// Shard width the family was split with (a checkpoint only resumes
+    /// under the same sharding).
+    pub work_unit_size: usize,
+    /// Canonical report of every completed unit, keyed by unit id.
+    pub completed: BTreeMap<WorkUnitId, SolveReport>,
+}
+
+fn encode_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+fn encode_opt_bits(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{:016x}", x.to_bits()))
+}
+
+fn encode_model(model: Option<&Assignment>) -> String {
+    match model {
+        None => "-".to_string(),
+        Some(a) => (0..a.num_vars())
+            .map(|i| match a.value(Var::new(i as u32)) {
+                Value::True => '1',
+                Value::False => '0',
+                Value::Unassigned => 'x',
+            })
+            .collect(),
+    }
+}
+
+fn encode_costs(costs: &[f64]) -> String {
+    if costs.is_empty() {
+        return "-".to_string();
+    }
+    costs
+        .iter()
+        .map(|c| format!("{:016x}", c.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_bits(field: &str, line: &str) -> Result<f64, String> {
+    u64::from_str_radix(field, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad value bits '{field}' in '{line}'"))
+}
+
+impl CoordinatorCheckpoint {
+    /// The empty checkpoint of a family: no units completed yet. The
+    /// identity element of [`absorb`](CoordinatorCheckpoint::absorb).
+    #[must_use]
+    pub fn empty(set_size: usize, total_cubes: usize, work_unit_size: usize) -> Self {
+        CoordinatorCheckpoint {
+            set_size,
+            total_cubes,
+            work_unit_size,
+            completed: BTreeMap::new(),
+        }
+    }
+
+    /// Number of work units the family shards into.
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.total_cubes.div_ceil(self.work_unit_size.max(1))
+    }
+
+    /// `true` once every unit's report is present.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.num_units()
+    }
+
+    /// Folds another checkpoint of the same run into this one: units known
+    /// to either side are known to the union, and a unit completed by both
+    /// keeps this side's report (replicated solves are canonical, so both
+    /// copies are identical anyway). Absorbing a checkpoint twice — or
+    /// absorbing a stale subset — is a no-op, which is what makes crash/
+    /// retry persistence loops safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two checkpoints describe different families
+    /// (`set_size`, `total_cubes` or `work_unit_size` differ).
+    pub fn absorb(&mut self, other: &CoordinatorCheckpoint) {
+        assert_eq!(self.set_size, other.set_size, "set size mismatch");
+        assert_eq!(self.total_cubes, other.total_cubes, "family size mismatch");
+        assert_eq!(
+            self.work_unit_size, other.work_unit_size,
+            "shard width mismatch"
+        );
+        for (&id, report) in &other.completed {
+            self.completed.entry(id).or_insert_with(|| report.clone());
+        }
+    }
+
+    /// Serializes the checkpoint into a line-oriented text form restored
+    /// **bit-for-bit** by [`from_text`](CoordinatorCheckpoint::from_text):
+    /// floats travel as hex-encoded IEEE-754 bits, models as one character
+    /// per variable. (The workspace's vendored `serde` is a type-check stub,
+    /// so this hand-rolled codec is what makes coordinator progress actually
+    /// crash-safe on disk.)
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("pdsat-coordinator-checkpoint v1\n");
+        out.push_str(&format!(
+            "family set_size={} total_cubes={} work_unit_size={}\n",
+            self.set_size, self.total_cubes, self.work_unit_size
+        ));
+        for (id, r) in &self.completed {
+            out.push_str(&format!(
+                "unit {} {} {:016x} {} {} {} {} {} {} {} {} {}\n",
+                id,
+                r.cubes_processed,
+                r.total_cost.to_bits(),
+                r.sat_count,
+                r.unknown_count,
+                r.wall_time.as_nanos(),
+                r.reused_assumptions,
+                r.saved_propagations,
+                encode_opt_usize(r.first_sat_index),
+                encode_opt_bits(r.cost_to_first_sat),
+                encode_model(r.model.as_ref()),
+                encode_costs(&r.per_cube_costs),
+            ));
+        }
+        out
+    }
+
+    /// Parses the text form produced by
+    /// [`to_text`](CoordinatorCheckpoint::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<CoordinatorCheckpoint, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty checkpoint")?;
+        if header.trim() != "pdsat-coordinator-checkpoint v1" {
+            return Err(format!("unrecognized checkpoint header '{header}'"));
+        }
+        let family = lines.next().ok_or("missing family line")?;
+        let mut set_size = None;
+        let mut total_cubes = None;
+        let mut work_unit_size = None;
+        for field in family
+            .strip_prefix("family ")
+            .ok_or_else(|| format!("bad family line '{family}'"))?
+            .split_whitespace()
+        {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("bad family field '{field}'"))?;
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| format!("bad family value '{field}'"))?;
+            match key {
+                "set_size" => set_size = Some(parsed),
+                "total_cubes" => total_cubes = Some(parsed),
+                "work_unit_size" => work_unit_size = Some(parsed),
+                _ => return Err(format!("unknown family field '{field}'")),
+            }
+        }
+        let (Some(set_size), Some(total_cubes), Some(work_unit_size)) =
+            (set_size, total_cubes, work_unit_size)
+        else {
+            return Err(format!("incomplete family line '{family}'"));
+        };
+        let mut checkpoint = CoordinatorCheckpoint::empty(set_size, total_cubes, work_unit_size);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("unit ")
+                .ok_or_else(|| format!("expected 'unit …', got '{line}'"))?;
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 12 {
+                return Err(format!("expected 12 unit fields in '{line}'"));
+            }
+            let parse_usize = |f: &str| -> Result<usize, String> {
+                f.parse()
+                    .map_err(|_| format!("bad count '{f}' in '{line}'"))
+            };
+            let parse_u64 = |f: &str| -> Result<u64, String> {
+                f.parse()
+                    .map_err(|_| format!("bad count '{f}' in '{line}'"))
+            };
+            let id: WorkUnitId = fields[0]
+                .parse()
+                .map_err(|_| format!("bad unit id in '{line}'"))?;
+            if (id as usize) >= checkpoint.num_units() {
+                return Err(format!("unit id {id} outside the family in '{line}'"));
+            }
+            let mut report = SolveReport::empty(set_size);
+            report.cubes_processed = parse_usize(fields[1])?;
+            report.total_cost = decode_bits(fields[2], line)?;
+            report.sat_count = parse_usize(fields[3])?;
+            report.unknown_count = parse_usize(fields[4])?;
+            let nanos: u128 = fields[5]
+                .parse()
+                .map_err(|_| format!("bad wall time in '{line}'"))?;
+            report.wall_time = Duration::from_nanos(
+                u64::try_from(nanos).map_err(|_| format!("wall time overflow in '{line}'"))?,
+            );
+            report.reused_assumptions = parse_u64(fields[6])?;
+            report.saved_propagations = parse_u64(fields[7])?;
+            report.first_sat_index = if fields[8] == "-" {
+                None
+            } else {
+                Some(parse_usize(fields[8])?)
+            };
+            report.cost_to_first_sat = if fields[9] == "-" {
+                None
+            } else {
+                Some(decode_bits(fields[9], line)?)
+            };
+            report.model = if fields[10] == "-" {
+                None
+            } else {
+                let mut model = Assignment::new(fields[10].len());
+                for (i, c) in fields[10].chars().enumerate() {
+                    match c {
+                        '1' => model.assign(Var::new(i as u32), true),
+                        '0' => model.assign(Var::new(i as u32), false),
+                        'x' => {}
+                        _ => return Err(format!("bad model character '{c}' in '{line}'")),
+                    }
+                }
+                Some(model)
+            };
+            report.per_cube_costs = if fields[11] == "-" {
+                Vec::new()
+            } else {
+                fields[11]
+                    .split(',')
+                    .map(|f| decode_bits(f, line))
+                    .collect::<Result<_, _>>()?
+            };
+            if checkpoint.completed.insert(id, report).is_some() {
+                return Err(format!("unit {id} listed twice"));
+            }
+        }
+        Ok(checkpoint)
+    }
+}
+
+/// The coordinator itself: shards one family, drives a [`Transport`], and
+/// accumulates the durable [`CoordinatorCheckpoint`].
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    checkpoint: CoordinatorCheckpoint,
+    units: Vec<WorkUnit>,
+    leases: LeaseTable,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for a family of `total_cubes` cubes over a
+    /// decomposition set of `set_size` variables, starting from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.work_unit_size` or `config.redundancy` is zero, or
+    /// `config.lease_timeout` is not positive.
+    #[must_use]
+    pub fn new(set_size: usize, total_cubes: usize, config: &CoordinatorConfig) -> Coordinator {
+        assert!(
+            config.work_unit_size > 0,
+            "work units bundle at least one cube"
+        );
+        Coordinator::resume(
+            CoordinatorCheckpoint::empty(set_size, total_cubes, config.work_unit_size),
+            config,
+        )
+    }
+
+    /// Rebuilds a coordinator from a checkpoint: units already present in
+    /// the checkpoint are marked complete and never re-leased; everything
+    /// else is leased out as usual. This is the crash-recovery path — no
+    /// completed work unit is ever recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shard width differs from the config's, if
+    /// `config.redundancy` is zero, or `config.lease_timeout` is not
+    /// positive.
+    #[must_use]
+    pub fn resume(checkpoint: CoordinatorCheckpoint, config: &CoordinatorConfig) -> Coordinator {
+        assert_eq!(
+            checkpoint.work_unit_size, config.work_unit_size,
+            "a checkpoint only resumes under the sharding that produced it"
+        );
+        let num_units = checkpoint.num_units();
+        let units: Vec<WorkUnit> = (0..num_units)
+            .map(|i| {
+                let first_cube = i * checkpoint.work_unit_size;
+                WorkUnit {
+                    id: i as WorkUnitId,
+                    first_cube,
+                    num_cubes: checkpoint
+                        .work_unit_size
+                        .min(checkpoint.total_cubes - first_cube),
+                }
+            })
+            .collect();
+        let mut leases = LeaseTable::new(num_units, config.redundancy, config.lease_timeout);
+        for &id in checkpoint.completed.keys() {
+            leases.mark_complete(id);
+        }
+        Coordinator {
+            checkpoint,
+            units,
+            leases,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// The durable state: clone it, serialize it with
+    /// [`CoordinatorCheckpoint::to_text`], persist it, resume from it.
+    #[must_use]
+    pub fn checkpoint(&self) -> &CoordinatorCheckpoint {
+        &self.checkpoint
+    }
+
+    /// This segment's observational counters.
+    #[must_use]
+    pub fn stats(&self) -> CoordinatorStats {
+        self.stats
+    }
+
+    /// Number of work units of the family.
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `true` once every unit reached its quorum.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.leases.all_complete()
+    }
+
+    /// Drives the transport until the family completes, the transport goes
+    /// silent, or `max_events` messages have been processed (`None` = no
+    /// budget — run to completion or starvation).
+    ///
+    /// The event budget is the test hook for crash recovery: a run cut off
+    /// by `OutOfEvents` models a killed coordinator whose last persisted
+    /// checkpoint is [`checkpoint`](Coordinator::checkpoint).
+    pub fn run<T: Transport>(&mut self, transport: &mut T, max_events: Option<u64>) -> RunStatus {
+        while !self.is_complete() {
+            if max_events.is_some_and(|budget| self.stats.events_processed >= budget) {
+                return RunStatus::OutOfEvents;
+            }
+            let Some(Timed { at: now, payload }) = transport.recv() else {
+                return RunStatus::Starved;
+            };
+            self.stats.events_processed += 1;
+            self.stats.expired_leases += self.leases.expire(now);
+            match payload {
+                ClientMsg::RequestWork { client } => match self.leases.next_assignment(client) {
+                    Some(id) => {
+                        self.leases.issue(id, client, now);
+                        self.stats.assignments += 1;
+                        transport.send(client, ServerMsg::Assign(self.units[id as usize]), now);
+                    }
+                    None => {
+                        self.stats.no_work_replies += 1;
+                        transport.send(client, ServerMsg::NoWork, now);
+                    }
+                },
+                ClientMsg::SubmitResult {
+                    client,
+                    unit,
+                    report,
+                    checksum_ok,
+                } => {
+                    let expected = self.units.get(unit as usize).map(|u| u.num_cubes);
+                    let valid = checksum_ok
+                        && expected == Some(report.cubes_processed)
+                        && report.set_size == self.checkpoint.set_size
+                        && report.per_cube_costs.len() == report.cubes_processed;
+                    match self.leases.record_result(unit, client, valid) {
+                        ResultDisposition::Counted {
+                            quorum_reached,
+                            late,
+                        } => {
+                            if late {
+                                self.stats.late_results += 1;
+                            }
+                            // Idempotent aggregation: the first counted
+                            // result pins the unit's canonical report;
+                            // replicas never overwrite it.
+                            self.checkpoint.completed.entry(unit).or_insert(report);
+                            if quorum_reached {
+                                self.stats.makespan = self.stats.makespan.max(now);
+                            }
+                        }
+                        ResultDisposition::AlreadyComplete | ResultDisposition::DuplicateClient => {
+                            self.stats.duplicate_results += 1;
+                        }
+                        ResultDisposition::Invalid => {
+                            self.stats.invalid_results += 1;
+                        }
+                    }
+                }
+            }
+        }
+        RunStatus::Complete
+    }
+
+    /// Merges the completed units, in enumeration order, into the report of
+    /// the whole family. `None` until every unit is complete (the merge
+    /// requires contiguous coverage).
+    #[must_use]
+    pub fn aggregate(&self) -> Option<SolveReport> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(SolveReport::merge_ordered(
+            self.checkpoint.set_size,
+            self.checkpoint.completed.values(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{synthetic_family_solver, LoopbackConfig, LoopbackTransport};
+    use crate::ClientBehavior;
+
+    fn costs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.75).collect()
+    }
+
+    fn chaotic_loopback(seed: u64) -> LoopbackConfig {
+        LoopbackConfig {
+            num_clients: 12,
+            seed,
+            behavior: ClientBehavior::default(),
+            poll_interval: 300.0,
+            replace_departed: true,
+            ideal_hosts: false,
+        }
+    }
+
+    #[test]
+    fn completes_a_family_under_chaos_and_aggregates_every_cube_once() {
+        let family = costs(100);
+        let total: f64 = family.iter().sum();
+        let config = CoordinatorConfig {
+            work_unit_size: 8,
+            redundancy: 2,
+            lease_timeout: 40_000.0,
+        };
+        let mut coordinator = Coordinator::new(3, family.len(), &config);
+        let mut transport = LoopbackTransport::new(
+            chaotic_loopback(42),
+            synthetic_family_solver(3, family.clone(), Some(23)),
+        );
+        assert_eq!(coordinator.run(&mut transport, None), RunStatus::Complete);
+        let aggregate = coordinator.aggregate().expect("complete run aggregates");
+        assert_eq!(aggregate.cubes_processed, family.len());
+        assert_eq!(aggregate.per_cube_costs, family);
+        assert!((aggregate.total_cost - total).abs() < 1e-9);
+        // Cube 22 is the first synthetic SAT cube (sat_every = 23).
+        assert_eq!(aggregate.first_sat_index, Some(22));
+        let prefix: f64 = family[..23].iter().sum();
+        assert!((aggregate.cost_to_first_sat.unwrap() - prefix).abs() < 1e-9);
+        let stats = coordinator.stats();
+        // Redundancy 2 means at least two assignments per unit.
+        assert!(stats.assignments >= 2 * coordinator.num_units());
+        assert!(stats.makespan > 0.0);
+    }
+
+    #[test]
+    fn starves_without_replacement_when_every_client_churns() {
+        let family = costs(400);
+        let config = CoordinatorConfig {
+            work_unit_size: 4,
+            redundancy: 2,
+            lease_timeout: 5_000.0,
+        };
+        let behavior = ClientBehavior {
+            churn_prob: 1.0,
+            churn_horizon: 2_000.0,
+            ..ClientBehavior::default()
+        };
+        let mut coordinator = Coordinator::new(2, family.len(), &config);
+        let mut transport = LoopbackTransport::new(
+            LoopbackConfig {
+                num_clients: 4,
+                seed: 9,
+                behavior,
+                poll_interval: 100.0,
+                replace_departed: false,
+                ideal_hosts: false,
+            },
+            synthetic_family_solver(2, family, None),
+        );
+        assert_eq!(coordinator.run(&mut transport, None), RunStatus::Starved);
+        assert!(coordinator.aggregate().is_none());
+    }
+
+    #[test]
+    fn checkpoint_text_codec_round_trips_bit_for_bit() {
+        let family = costs(37);
+        let config = CoordinatorConfig {
+            work_unit_size: 5,
+            redundancy: 1,
+            lease_timeout: 10_000.0,
+        };
+        let mut coordinator = Coordinator::new(4, family.len(), &config);
+        let mut transport = LoopbackTransport::new(
+            chaotic_loopback(7),
+            synthetic_family_solver(4, family, Some(10)),
+        );
+        assert_eq!(coordinator.run(&mut transport, None), RunStatus::Complete);
+        let text = coordinator.checkpoint().to_text();
+        let restored = CoordinatorCheckpoint::from_text(&text).expect("round-trip");
+        assert_eq!(restored.to_text(), text);
+        assert_eq!(&restored, coordinator.checkpoint());
+
+        // A model with assigned and unassigned variables survives the codec.
+        let mut with_model = coordinator.checkpoint().clone();
+        let mut model = Assignment::new(5);
+        model.assign(Var::new(0), true);
+        model.assign(Var::new(3), false);
+        with_model
+            .completed
+            .get_mut(&0)
+            .expect("unit 0 completed")
+            .model = Some(model.clone());
+        let restored =
+            CoordinatorCheckpoint::from_text(&with_model.to_text()).expect("model round-trip");
+        assert_eq!(restored.completed[&0].model.as_ref(), Some(&model));
+
+        // Malformed inputs are rejected, not mis-parsed.
+        assert!(CoordinatorCheckpoint::from_text("").is_err());
+        assert!(CoordinatorCheckpoint::from_text("pdsat-coordinator-checkpoint v2\n").is_err());
+        assert!(CoordinatorCheckpoint::from_text(
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=1 total_cubes=4\n"
+        )
+        .is_err());
+        assert!(CoordinatorCheckpoint::from_text(
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=1 total_cubes=4 work_unit_size=2\nunit 7 2 0 0 0 0 0 0 - - - -\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn absorb_is_idempotent_and_unions_disjoint_progress() {
+        let family = costs(20);
+        let config = CoordinatorConfig {
+            work_unit_size: 4,
+            redundancy: 1,
+            lease_timeout: 10_000.0,
+        };
+        let mut coordinator = Coordinator::new(2, family.len(), &config);
+        let mut transport = LoopbackTransport::new(
+            chaotic_loopback(3),
+            synthetic_family_solver(2, family, None),
+        );
+        assert_eq!(coordinator.run(&mut transport, None), RunStatus::Complete);
+        let full = coordinator.checkpoint().clone();
+
+        let mut left = CoordinatorCheckpoint::empty(2, 20, 4);
+        let mut right = CoordinatorCheckpoint::empty(2, 20, 4);
+        for (&id, report) in &full.completed {
+            if id % 2 == 0 {
+                left.completed.insert(id, report.clone());
+            } else {
+                right.completed.insert(id, report.clone());
+            }
+        }
+        let mut merged = left.clone();
+        merged.absorb(&right);
+        merged.absorb(&right); // absorbing twice changes nothing
+        merged.absorb(&left);
+        assert_eq!(merged.to_text(), full.to_text());
+        assert!(merged.is_complete());
+    }
+}

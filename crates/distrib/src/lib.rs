@@ -1,11 +1,20 @@
-//! Discrete-event simulators for the computing substrates of the paper's
-//! evaluation: a homogeneous cluster partition and a BOINC-style volunteer
-//! computing grid (the SAT@home substitute).
+//! The distributed-computing layer of the reproduction: discrete-event
+//! simulators for the paper's computing substrates plus a sharded,
+//! checkpointed coordinator that actually processes decomposition families
+//! on a (simulated) volunteer grid.
 //!
-//! Both simulators consume the per-sub-problem costs produced by
-//! [`pdsat_core`]'s solving mode (or by the predictive function's sample) and
-//! answer the operational question the paper cares about: *how long does the
-//! whole decomposition family take on this machine?*
+//! Two levels of fidelity:
+//!
+//! * **Closed-form simulators** ([`simulate_cluster`],
+//!   [`simulate_volunteer_grid`]) consume per-sub-problem costs and answer
+//!   *how long does the whole decomposition family take on this machine?* —
+//!   cheap enough to call inside search loops.
+//! * **The coordinator** ([`Coordinator`]) is the SAT@home server side in
+//!   miniature: it shards a family into work units, leases them to clients
+//!   over a pluggable [`Transport`], re-issues expired leases, validates a
+//!   BOINC-style redundancy quorum, aggregates per-unit
+//!   [`SolveReport`](pdsat_core::SolveReport)s idempotently, and checkpoints
+//!   progress so a killed run resumes without losing completed units.
 //!
 //! # Example
 //!
@@ -21,10 +30,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
 mod cluster;
+mod coordinator;
+mod lease;
+mod transport;
 mod volunteer;
 
+pub use client::{volunteer_population, ClientBehavior, ClientFate, VolunteerClient};
 pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport};
+pub use coordinator::{
+    Coordinator, CoordinatorCheckpoint, CoordinatorConfig, CoordinatorStats, RunStatus,
+};
+pub use lease::{LeaseTable, ResultDisposition};
+pub use transport::{
+    synthetic_family_solver, ClientId, ClientMsg, LoopbackConfig, LoopbackTransport, ServerMsg,
+    Timed, Transport, TransportStats, WorkUnit, WorkUnitId,
+};
 pub use volunteer::{
     simulate_volunteer_grid, synthetic_host_population, GridConfig, GridReport, Host,
 };

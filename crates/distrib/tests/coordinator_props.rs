@@ -1,0 +1,156 @@
+//! Property tests for the distributed coordinator's two load-bearing
+//! guarantees:
+//!
+//! 1. **Exactly-once completion** — under heavy-tailed host speeds,
+//!    availability gaps, churn, stragglers, vanished/duplicate/corrupted
+//!    results and lease re-issue, every work unit of the family ends up
+//!    completed exactly once and the aggregate covers every cube exactly
+//!    once.
+//! 2. **Crash recovery** — killing the coordinator after an arbitrary number
+//!    of events and resuming a fresh coordinator from the text-serialized
+//!    checkpoint (over a *differently seeded* client population) reproduces
+//!    the uninterrupted run's final checkpoint and aggregate bit-for-bit.
+
+use pdsat_distrib::{
+    synthetic_family_solver, ClientBehavior, Coordinator, CoordinatorCheckpoint, CoordinatorConfig,
+    LoopbackConfig, LoopbackTransport, RunStatus,
+};
+use proptest::prelude::*;
+
+/// Deterministic, mildly irregular per-cube costs.
+fn family(num_cubes: usize, seed: u64) -> Vec<f64> {
+    (0..num_cubes)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) % 97;
+            0.5 + x as f64 * 0.13
+        })
+        .collect()
+}
+
+fn chaotic(seed: u64, num_clients: usize) -> LoopbackConfig {
+    LoopbackConfig {
+        num_clients,
+        seed,
+        behavior: ClientBehavior::default(),
+        poll_interval: 250.0,
+        replace_departed: true,
+        ideal_hosts: false,
+    }
+}
+
+/// An event budget far above anything a healthy run needs: hitting it means
+/// the coordinator livelocked, and the test fails instead of hanging.
+const EVENT_CEILING: u64 = 2_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_work_unit_completes_exactly_once_under_chaos(
+        seed in 0u64..10_000,
+        num_cubes in 1usize..80,
+        work_unit_size in 1usize..9,
+        redundancy in 1usize..4,
+        num_clients in 4usize..12,
+    ) {
+        let costs = family(num_cubes, seed);
+        let config = CoordinatorConfig {
+            work_unit_size,
+            redundancy,
+            lease_timeout: 20_000.0,
+        };
+        let mut coordinator = Coordinator::new(3, num_cubes, &config);
+        let mut transport = LoopbackTransport::new(
+            chaotic(seed, num_clients),
+            synthetic_family_solver(3, costs.clone(), Some(17)),
+        );
+        let status = coordinator.run(&mut transport, Some(EVENT_CEILING));
+        prop_assert_eq!(status, RunStatus::Complete);
+
+        // Every unit id appears exactly once, covering the whole family.
+        let checkpoint = coordinator.checkpoint();
+        let expected_units = num_cubes.div_ceil(work_unit_size);
+        prop_assert_eq!(checkpoint.completed.len(), expected_units);
+        for (i, (&id, report)) in checkpoint.completed.iter().enumerate() {
+            prop_assert_eq!(id as usize, i, "unit ids must be contiguous");
+            let first = i * work_unit_size;
+            prop_assert_eq!(report.cubes_processed, work_unit_size.min(num_cubes - first));
+        }
+
+        // The aggregate covers every cube exactly once, in enumeration order.
+        let aggregate = coordinator.aggregate().expect("complete run aggregates");
+        prop_assert_eq!(aggregate.cubes_processed, num_cubes);
+        prop_assert_eq!(&aggregate.per_cube_costs, &costs);
+        let total: f64 = costs.iter().sum();
+        prop_assert!((aggregate.total_cost - total).abs() < 1e-6 * total.max(1.0));
+
+        // Quorum discipline: every unit was assigned at least `redundancy`
+        // times (replication), and only counted results reached the map.
+        prop_assert!(coordinator.stats().assignments >= redundancy * expected_units);
+    }
+
+    #[test]
+    fn kill_restart_from_checkpoint_reproduces_the_aggregate_bit_for_bit(
+        seed in 0u64..10_000,
+        num_cubes in 1usize..60,
+        work_unit_size in 1usize..7,
+        redundancy in 1usize..3,
+        kill_after in 1u64..2_500,
+    ) {
+        let costs = family(num_cubes, seed);
+        let config = CoordinatorConfig {
+            work_unit_size,
+            redundancy,
+            lease_timeout: 20_000.0,
+        };
+        let solver = || synthetic_family_solver(4, costs.clone(), Some(13));
+
+        // Reference: one uninterrupted run.
+        let mut uninterrupted = Coordinator::new(4, num_cubes, &config);
+        let mut transport = LoopbackTransport::new(chaotic(seed, 6), solver());
+        prop_assert_eq!(
+            uninterrupted.run(&mut transport, Some(EVENT_CEILING)),
+            RunStatus::Complete
+        );
+        let reference_text = uninterrupted.checkpoint().to_text();
+        let reference_aggregate = uninterrupted.aggregate().expect("complete");
+
+        // Kill: same population seed, cut off after `kill_after` events.
+        let mut killed = Coordinator::new(4, num_cubes, &config);
+        let mut transport = LoopbackTransport::new(chaotic(seed, 6), solver());
+        let status = killed.run(&mut transport, Some(kill_after));
+        let persisted = killed.checkpoint().to_text();
+        drop(killed);
+        drop(transport);
+
+        if status == RunStatus::Complete {
+            // The budget outlived the run; the checkpoint is already final.
+            prop_assert_eq!(&persisted, &reference_text);
+            return;
+        }
+        prop_assert_eq!(status, RunStatus::OutOfEvents);
+
+        // Restart: a fresh coordinator from the persisted text, over a
+        // *different* client population. No completed unit is recomputed,
+        // and the final state matches the uninterrupted run exactly.
+        let restored = CoordinatorCheckpoint::from_text(&persisted).expect("valid checkpoint");
+        let resumed_from = restored.completed.len();
+        let mut resumed = Coordinator::resume(restored, &config);
+        let mut transport = LoopbackTransport::new(chaotic(seed ^ 0xDEAD_BEEF, 5), solver());
+        prop_assert_eq!(
+            resumed.run(&mut transport, Some(EVENT_CEILING)),
+            RunStatus::Complete
+        );
+        prop_assert!(resumed.checkpoint().completed.len() >= resumed_from);
+        prop_assert_eq!(resumed.checkpoint().to_text(), reference_text);
+
+        let resumed_aggregate = resumed.aggregate().expect("complete");
+        prop_assert_eq!(&resumed_aggregate, &reference_aggregate);
+        // Bit-for-bit, not just approximately: the merge follows the same
+        // enumeration order regardless of which population solved what.
+        prop_assert_eq!(
+            resumed_aggregate.total_cost.to_bits(),
+            reference_aggregate.total_cost.to_bits()
+        );
+    }
+}

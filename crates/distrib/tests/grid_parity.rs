@@ -1,0 +1,88 @@
+//! Parity between the legacy closed-form grid simulator and the coordinator:
+//! with ideal hosts (always on, perfectly reliable, reference speed) and no
+//! replication, both reduce to greedy in-order list scheduling, so they must
+//! agree on the makespan, the assignment count and the donated CPU time.
+//!
+//! This pins the coordinator's scheduling policy to the simulator the
+//! earlier experiments were calibrated against: any drift in dispatch order
+//! or lease bookkeeping shows up as a makespan difference here.
+
+use pdsat_distrib::{
+    simulate_volunteer_grid, synthetic_family_solver, Coordinator, CoordinatorConfig, GridConfig,
+    Host, LoopbackConfig, LoopbackTransport, RunStatus,
+};
+
+fn ragged_costs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + ((i * 37) % 11) as f64 * 0.6).collect()
+}
+
+fn parity_case(num_cubes: usize, work_unit_size: usize, num_hosts: usize) {
+    let costs = ragged_costs(num_cubes);
+
+    let hosts = vec![
+        Host {
+            speed: 1.0,
+            availability: 1.0,
+            reliability: 1.0,
+        };
+        num_hosts
+    ];
+    let legacy = simulate_volunteer_grid(
+        &costs,
+        &hosts,
+        &GridConfig {
+            work_unit_size,
+            redundancy: 1,
+            deadline: 1e12,
+            seed: 5,
+        },
+    );
+
+    let config = CoordinatorConfig {
+        work_unit_size,
+        redundancy: 1,
+        lease_timeout: 1e12,
+    };
+    let mut coordinator = Coordinator::new(2, num_cubes, &config);
+    let mut transport = LoopbackTransport::new(
+        LoopbackConfig {
+            num_clients: num_hosts,
+            seed: 5,
+            poll_interval: 1e9,
+            ideal_hosts: true,
+            ..LoopbackConfig::default()
+        },
+        synthetic_family_solver(2, costs.clone(), None),
+    );
+    assert_eq!(coordinator.run(&mut transport, None), RunStatus::Complete);
+
+    let stats = coordinator.stats();
+    assert_eq!(legacy.work_units, coordinator.num_units());
+    assert_eq!(legacy.assignments, stats.assignments, "one lease per unit");
+    assert!(
+        (legacy.makespan - stats.makespan).abs() < 1e-9 * legacy.makespan.max(1.0),
+        "makespan parity: legacy {} vs coordinator {}",
+        legacy.makespan,
+        stats.makespan
+    );
+    assert!(
+        (legacy.donated_cpu_time - transport.stats().donated_cpu_time).abs()
+            < 1e-9 * legacy.donated_cpu_time.max(1.0),
+        "donated CPU parity: legacy {} vs coordinator {}",
+        legacy.donated_cpu_time,
+        transport.stats().donated_cpu_time
+    );
+    assert_eq!(legacy.lost_results, 0);
+    assert_eq!(stats.expired_leases, 0);
+    assert_eq!(stats.invalid_results, 0);
+}
+
+#[test]
+fn ideal_grid_makespans_match_the_legacy_simulator() {
+    // More units than hosts (queueing), fewer units than hosts (idle tail),
+    // single host (pure sequential), and a non-dividing chunk size.
+    parity_case(96, 4, 8);
+    parity_case(12, 4, 16);
+    parity_case(30, 7, 5);
+    parity_case(25, 3, 1);
+}

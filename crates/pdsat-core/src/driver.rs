@@ -264,6 +264,32 @@ impl SearchDriver {
         self.run_resumed(space, start, strategy, evaluator, None)
     }
 
+    /// Runs one *segment* of a long, restartable search: resumes from
+    /// `checkpoint`, then folds the outcome back into it with
+    /// [`SearchCheckpoint::absorb`].
+    ///
+    /// This is the chaining primitive long estimation runs are built on —
+    /// e.g. a distributed coordinator alternating search segments with
+    /// persisted checkpoints (`SearchCheckpoint::to_text`), so that killing
+    /// the process between segments loses at most the segment in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`run_resumed`](SearchDriver::run_resumed).
+    pub fn run_chained<S: Strategy + ?Sized>(
+        &self,
+        space: &SearchSpace,
+        start: &Point,
+        strategy: &mut S,
+        evaluator: &mut Evaluator,
+        checkpoint: &mut SearchCheckpoint,
+    ) -> SearchOutcome {
+        let outcome = self.run_resumed(space, start, strategy, evaluator, Some(checkpoint));
+        checkpoint.absorb(&outcome);
+        outcome
+    }
+
     /// Like [`run`](SearchDriver::run), but seeds the dedup/memo cache and
     /// the incumbent best pair from `checkpoint`: checkpointed points are
     /// answered without touching the evaluator (they still appear in the new

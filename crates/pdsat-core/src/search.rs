@@ -243,6 +243,129 @@ pub struct SearchCheckpoint {
 }
 
 impl SearchCheckpoint {
+    /// An empty checkpoint of the given dimension: no visited points and an
+    /// incumbent of `+∞` at the empty point, so the first absorbed (or
+    /// resumed) evaluation always improves on it. This is the identity
+    /// element of [`absorb`](SearchCheckpoint::absorb) chaining — start a
+    /// long, restartable estimation run from it and fold every segment's
+    /// outcome in.
+    #[must_use]
+    pub fn empty(dimension: usize) -> SearchCheckpoint {
+        SearchCheckpoint {
+            dimension,
+            visited: Vec::new(),
+            best_point: Point::from_indices(dimension, []),
+            best_value: f64::INFINITY,
+        }
+    }
+
+    /// Serializes the checkpoint into a line-oriented text form that
+    /// [`from_text`](SearchCheckpoint::from_text) restores **bit-for-bit**
+    /// (values travel as hex-encoded IEEE-754 bits, points as index lists).
+    ///
+    /// The workspace has no serde data format (the vendored `serde` is a
+    /// type-check stub), so this hand-rolled codec is what makes checkpoints
+    /// actually crash-safe: a coordinator can persist the running checkpoint
+    /// after every segment and a restarted process can resume from the file.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        fn point_field(point: &Point) -> String {
+            let indices = point.selected_indices();
+            if indices.is_empty() {
+                "-".to_string()
+            } else {
+                indices
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        let mut out = String::new();
+        out.push_str("pdsat-search-checkpoint v1\n");
+        out.push_str(&format!("dimension {}\n", self.dimension));
+        out.push_str(&format!(
+            "best {:016x} {}\n",
+            self.best_value.to_bits(),
+            point_field(&self.best_point)
+        ));
+        for v in &self.visited {
+            out.push_str(&format!(
+                "visited {:016x} {}\n",
+                v.value.to_bits(),
+                point_field(&v.point)
+            ));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`to_text`](SearchCheckpoint::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<SearchCheckpoint, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty checkpoint")?;
+        if header.trim() != "pdsat-search-checkpoint v1" {
+            return Err(format!("unrecognized checkpoint header '{header}'"));
+        }
+        let dim_line = lines.next().ok_or("missing dimension line")?;
+        let dimension: usize = dim_line
+            .strip_prefix("dimension ")
+            .and_then(|d| d.trim().parse().ok())
+            .ok_or_else(|| format!("bad dimension line '{dim_line}'"))?;
+        let parse_entry = |line: &str, tag: &str| -> Result<(f64, Point), String> {
+            let rest = line
+                .strip_prefix(tag)
+                .ok_or_else(|| format!("expected '{tag}…', got '{line}'"))?;
+            let mut parts = rest.split_whitespace();
+            let bits = parts
+                .next()
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| format!("bad value bits in '{line}'"))?;
+            let indices_field = parts
+                .next()
+                .ok_or_else(|| format!("missing point in '{line}'"))?;
+            let indices: Vec<usize> = if indices_field == "-" {
+                Vec::new()
+            } else {
+                indices_field
+                    .split(',')
+                    .map(|i| {
+                        i.parse::<usize>()
+                            .map_err(|_| format!("bad index '{i}' in '{line}'"))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            if let Some(&max) = indices.iter().max() {
+                if max >= dimension {
+                    return Err(format!("index {max} outside dimension {dimension}"));
+                }
+            }
+            Ok((
+                f64::from_bits(bits),
+                Point::from_indices(dimension, indices),
+            ))
+        };
+        let best_line = lines.next().ok_or("missing best line")?;
+        let (best_value, best_point) = parse_entry(best_line, "best ")?;
+        let mut visited = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (value, point) = parse_entry(line, "visited ")?;
+            visited.push(VisitedPoint { point, value });
+        }
+        Ok(SearchCheckpoint {
+            dimension,
+            visited,
+            best_point,
+            best_value,
+        })
+    }
+
     /// Folds `outcome` into this checkpoint: newly visited points are
     /// appended (already-known points keep their stored value) and the best
     /// pair is updated when the outcome improved on it.
@@ -290,6 +413,86 @@ mod tests {
         assert!(limits.exceeded(10, Duration::from_secs(1)));
         assert!(limits.exceeded(0, Duration::from_secs(5)));
         assert!(!SearchLimits::unlimited().exceeded(1_000_000, Duration::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn absorb_is_idempotent() {
+        use crate::{Point, SearchSpace};
+        use pdsat_cnf::Var;
+        let space = SearchSpace::new((0..4).map(Var::new));
+        let mk = |i: usize, point: Point, v: f64| SearchStep {
+            index: i,
+            point,
+            set_size: 0,
+            value: v,
+            accepted: true,
+            is_best: false,
+            elapsed: Duration::ZERO,
+        };
+        let p0 = Point::from_indices(4, [0]);
+        let p1 = Point::from_indices(4, [1, 2]);
+        let outcome = SearchOutcome {
+            best_point: p1.clone(),
+            best_set: space.decomposition_set(&p1),
+            best_value: 2.0,
+            history: vec![mk(0, p0.clone(), 5.0), mk(1, p1.clone(), 2.0)],
+            points_evaluated: 2,
+            wall_time: Duration::ZERO,
+            stop_condition: StopCondition::PointLimit,
+        };
+        let mut checkpoint = SearchCheckpoint::empty(4);
+        checkpoint.absorb(&outcome);
+        let once = checkpoint.clone();
+        // Absorbing the same outcome again (a duplicate/late delivery in a
+        // distributed run) must not duplicate points or perturb the best
+        // pair: the merged state is bit-for-bit the single-absorb state.
+        checkpoint.absorb(&outcome);
+        assert_eq!(checkpoint, once);
+        assert_eq!(checkpoint.visited.len(), 2);
+        assert_eq!(checkpoint.best_value, 2.0);
+        assert_eq!(checkpoint.best_point, p1);
+    }
+
+    #[test]
+    fn text_codec_round_trips_bit_for_bit() {
+        use crate::Point;
+        let mut checkpoint = SearchCheckpoint::empty(7);
+        checkpoint.best_point = Point::from_indices(7, [0, 3, 6]);
+        checkpoint.best_value = 0.1 + 0.2; // deliberately not exactly 0.3
+        checkpoint.visited = vec![
+            VisitedPoint {
+                point: Point::from_indices(7, [0, 3, 6]),
+                value: 0.1 + 0.2,
+            },
+            VisitedPoint {
+                point: Point::from_indices(7, []),
+                value: f64::INFINITY,
+            },
+            VisitedPoint {
+                point: Point::from_indices(7, [5]),
+                value: 1e-300,
+            },
+        ];
+        let text = checkpoint.to_text();
+        let restored = SearchCheckpoint::from_text(&text).expect("codec round-trip");
+        assert_eq!(restored, checkpoint);
+        // An empty checkpoint (∞ incumbent) survives too.
+        let empty = SearchCheckpoint::empty(3);
+        assert_eq!(
+            SearchCheckpoint::from_text(&empty.to_text()).unwrap(),
+            empty
+        );
+        // Malformed inputs are rejected, not mis-parsed.
+        assert!(SearchCheckpoint::from_text("").is_err());
+        assert!(SearchCheckpoint::from_text("pdsat-search-checkpoint v2\ndimension 3").is_err());
+        assert!(SearchCheckpoint::from_text(
+            "pdsat-search-checkpoint v1\ndimension 3\nbest zzzz -\n"
+        )
+        .is_err());
+        assert!(SearchCheckpoint::from_text(
+            "pdsat-search-checkpoint v1\ndimension 3\nbest 0000000000000000 5\n"
+        )
+        .is_err());
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Default for SolveModeConfig {
 }
 
 /// Result of processing a decomposition family in solving mode.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveReport {
     /// Size `d` of the decomposition set.
     pub set_size: usize,
@@ -92,6 +92,71 @@ pub struct SolveReport {
     pub model: Option<Assignment>,
     /// Per-cube costs in enumeration order (useful for makespan simulation).
     pub per_cube_costs: Vec<f64>,
+}
+
+impl SolveReport {
+    /// A report over zero cubes (the identity element of
+    /// [`merge_ordered`](SolveReport::merge_ordered)).
+    #[must_use]
+    pub fn empty(set_size: usize) -> SolveReport {
+        SolveReport {
+            set_size,
+            cubes_processed: 0,
+            total_cost: 0.0,
+            cost_to_first_sat: None,
+            first_sat_index: None,
+            sat_count: 0,
+            unknown_count: 0,
+            wall_time: Duration::ZERO,
+            reused_assumptions: 0,
+            saved_propagations: 0,
+            model: None,
+            per_cube_costs: Vec::new(),
+        }
+    }
+
+    /// Merges per-work-unit reports over **contiguous, consecutive** slices
+    /// of one decomposition family (in enumeration order, no gaps, no
+    /// overlaps) into the report of the whole family.
+    ///
+    /// This is the aggregation primitive of the distributed coordinator: a
+    /// family is sharded into work units, each unit's cubes are solved
+    /// remotely into a per-unit `SolveReport`, and the coordinator merges the
+    /// units back in enumeration order. Indices are re-based (a unit's
+    /// `first_sat_index` is local to its slice), `cost_to_first_sat` becomes
+    /// the sequential cost up to the first satisfiable cube of the *family*,
+    /// and the model of the earliest satisfiable unit is kept. Callers are
+    /// responsible for passing each unit **exactly once** — deduplication of
+    /// duplicate/late results is the coordinator's job (keyed on work-unit
+    /// id), not the merge's.
+    #[must_use]
+    pub fn merge_ordered<'a, I>(set_size: usize, units: I) -> SolveReport
+    where
+        I: IntoIterator<Item = &'a SolveReport>,
+    {
+        let mut merged = SolveReport::empty(set_size);
+        for unit in units {
+            if merged.first_sat_index.is_none() {
+                if let Some(local) = unit.first_sat_index {
+                    merged.first_sat_index = Some(merged.cubes_processed + local);
+                    merged.cost_to_first_sat =
+                        unit.cost_to_first_sat.map(|cost| merged.total_cost + cost);
+                    merged.model = unit.model.clone();
+                }
+            }
+            merged.cubes_processed += unit.cubes_processed;
+            merged.total_cost += unit.total_cost;
+            merged.sat_count += unit.sat_count;
+            merged.unknown_count += unit.unknown_count;
+            merged.wall_time += unit.wall_time;
+            merged.reused_assumptions += unit.reused_assumptions;
+            merged.saved_propagations += unit.saved_propagations;
+            merged
+                .per_cube_costs
+                .extend_from_slice(&unit.per_cube_costs);
+        }
+        merged
+    }
 }
 
 // Only referenced through `#[serde(with = ...)]`, which the offline serde
@@ -349,6 +414,68 @@ mod tests {
         assert_eq!(seq.cubes_processed, par.cubes_processed);
         assert_eq!(seq.total_cost, par.total_cost);
         assert_eq!(seq.per_cube_costs, par.per_cube_costs);
+    }
+
+    #[test]
+    fn merged_work_unit_reports_match_the_whole_family() {
+        // Chain formula: one cube UNSAT, the rest SAT (first SAT at index 0).
+        let mut cnf = Cnf::new(6);
+        for i in 0..5u32 {
+            cnf.add_clause([Lit::negative(Var::new(i)), Lit::positive(Var::new(i + 1))]);
+        }
+        let set = DecompositionSet::new([Var::new(0), Var::new(2), Var::new(4)]);
+        let cubes: Vec<pdsat_cnf::Cube> = set.cubes().collect();
+        // The fresh backend's observations are order- and grouping-
+        // independent, so per-unit solves are comparable with the monolithic
+        // run (the same property the coordinator's replica validation needs).
+        let config = SolveModeConfig {
+            backend: crate::BackendKind::Fresh,
+            ..config()
+        };
+        let whole = solve_family(&cnf, &set, &config, None);
+        let mut solver = FamilySolver::new(&cnf, &config);
+        let unit_reports: Vec<SolveReport> = cubes
+            .chunks(3) // uneven final chunk on purpose (8 = 3 + 3 + 2)
+            .map(|chunk| solver.solve_cubes(&set, chunk, None))
+            .collect();
+        let merged = SolveReport::merge_ordered(set.len(), &unit_reports);
+        assert_eq!(merged.set_size, whole.set_size);
+        assert_eq!(merged.cubes_processed, whole.cubes_processed);
+        assert_eq!(merged.per_cube_costs, whole.per_cube_costs);
+        assert!((merged.total_cost - whole.total_cost).abs() < 1e-9);
+        assert_eq!(merged.first_sat_index, whole.first_sat_index);
+        assert_eq!(merged.sat_count, whole.sat_count);
+        assert_eq!(merged.unknown_count, whole.unknown_count);
+        assert!(
+            (merged.cost_to_first_sat.unwrap() - whole.cost_to_first_sat.unwrap()).abs() < 1e-9
+        );
+        let model = merged.model.expect("model kept from the first SAT unit");
+        assert!(cnf.is_satisfied_by(&model));
+        // Merging nothing gives the identity.
+        let nothing = SolveReport::merge_ordered(set.len(), []);
+        assert_eq!(nothing.cubes_processed, 0);
+        assert_eq!(nothing.total_cost, 0.0);
+    }
+
+    #[test]
+    fn merge_rebases_first_sat_onto_later_units() {
+        let mut unsat_unit = SolveReport::empty(2);
+        unsat_unit.cubes_processed = 2;
+        unsat_unit.total_cost = 3.0;
+        unsat_unit.per_cube_costs = vec![1.0, 2.0];
+        let mut sat_unit = SolveReport::empty(2);
+        sat_unit.cubes_processed = 2;
+        sat_unit.total_cost = 5.0;
+        sat_unit.per_cube_costs = vec![4.0, 1.0];
+        sat_unit.first_sat_index = Some(1);
+        sat_unit.cost_to_first_sat = Some(5.0);
+        sat_unit.sat_count = 1;
+        let merged = SolveReport::merge_ordered(2, [&unsat_unit, &sat_unit]);
+        assert_eq!(merged.first_sat_index, Some(3));
+        assert!((merged.cost_to_first_sat.unwrap() - 8.0).abs() < 1e-12);
+        assert_eq!(merged.sat_count, 1);
+        assert_eq!(merged.cubes_processed, 4);
+        assert_eq!(merged.per_cube_costs, vec![1.0, 2.0, 4.0, 1.0]);
     }
 
     #[test]

@@ -172,6 +172,27 @@ pub struct Point {
 }
 
 impl Point {
+    /// Builds a point of the given dimension with exactly the listed
+    /// coordinates selected. This is the constructor used when a point is
+    /// decoded from a persisted checkpoint, where no [`SearchSpace`] is at
+    /// hand yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(dimension: usize, indices: I) -> Point {
+        let mut bits = vec![false; dimension];
+        for i in indices {
+            assert!(
+                i < dimension,
+                "coordinate {i} outside dimension {dimension}"
+            );
+            bits[i] = true;
+        }
+        Point { bits }
+    }
+
     /// Dimension of the point (length of the characteristic vector).
     #[must_use]
     pub fn dimension(&self) -> usize {
