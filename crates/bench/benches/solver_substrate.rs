@@ -139,6 +139,43 @@ fn bench_solver(c: &mut Criterion) {
         );
     }
 
+    // The same persistent-solver family sweep with DRAT proof logging
+    // toggled. `on` prices recording every learnt/deleted clause into the
+    // in-memory proof stream (the stream is truncated each iteration so it
+    // cannot grow across criterion samples); `off` pins that the proof
+    // plumbing is free when disabled — the row CI gates at 10 % against the
+    // committed baseline, the bit-identical-search guarantee in time form.
+    for proof in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("family_proof", if proof { "on" } else { "off" }),
+            &proof,
+            |b, &proof| {
+                let instance = bench_bivium_instance();
+                let set = start_set(&instance);
+                let cubes: Vec<_> = set.cubes().collect();
+                let mut solver = Solver::from_cnf_with_config(
+                    instance.cnf(),
+                    SolverConfig {
+                        proof,
+                        time_accounting: false,
+                        ..SolverConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    solver.clear_proof();
+                    let mut sat = 0u32;
+                    for cube in &cubes {
+                        if solver.solve_with_assumptions(cube.lits()).is_sat() {
+                            sat += 1;
+                        }
+                    }
+                    assert!(sat >= 1);
+                    sat
+                });
+            },
+        );
+    }
+
     // The same 64 sub-problems through the two CubeOracle backends: the
     // fresh/warm gap isolates the per-cube cost of reloading the clause
     // database and relearning, i.e. what PDSAT's long-lived workers save.

@@ -1,0 +1,643 @@
+//! Standalone certificate checking for PDSAT verdicts: a forward DRAT proof
+//! checker for UNSAT answers and a trivial model validator for SAT answers.
+//!
+//! This crate is the *trust anchor* of the distributed deployment: the
+//! coordinator receives solve reports from untrusted volunteer hosts, and
+//! instead of relying on redundancy alone it re-validates each answer —
+//! models are evaluated against the original formula, UNSAT verdicts are
+//! checked against the DRAT derivation the solver emitted behind
+//! `SolverConfig::proof`. The checker shares no code with the solver's
+//! propagation engine (only the literal/CNF vocabulary of `pdsat_cnf`), so a
+//! bug would have to occur twice, independently, to slip through.
+//!
+//! # Checking algorithm
+//!
+//! [`check_unsat_proof`] is a forward RUP checker over an occurrence-indexed,
+//! deletion-aware clause set:
+//!
+//! 1. The cube's literals (if any) are seeded as root assignments — a
+//!    certificate proves `F ∧ cube ⊨ ⊥`, not `F ⊨ ⊥`.
+//! 2. The formula's clauses are loaded into a two-watched-literal database
+//!    and propagated to fixpoint.
+//! 3. Each `Add` step is checked for RUP (assert the negations of its
+//!    literals, propagate, expect a conflict), then added and propagated.
+//!    Each `Delete` step removes one instance of the clause, matched by
+//!    sorted-literal multiset; unmatched deletions are lenient no-ops and
+//!    root-level assignments are never retracted (the `drat-trim` dialect —
+//!    deleting the reason of a root-forced literal must not un-derive it).
+//! 4. The proof is accepted once root propagation derives a conflict.
+//!
+//! Every accepted addition is a logical consequence of the formula, the cube
+//! and the previously accepted additions, so acceptance is sound under *any*
+//! deletion policy; deletions can only make acceptance harder, never easier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pdsat_cnf::{Assignment, Cnf, DratProof, DratStep, Lit, Value};
+use std::collections::HashMap;
+
+/// Why a submitted result (model, proof, or whole report) was rejected.
+///
+/// The coordinator embeds this in `ResultDisposition::Rejected`, so the
+/// variants cover the coordinator-side integrity/shape checks as well as the
+/// checker's own verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckFailure {
+    /// The transport-level integrity check (upload checksum) failed.
+    Checksum,
+    /// The report's shape is inconsistent with the work unit it claims to
+    /// answer (cube counts, set size, per-cube cost vector).
+    Shape,
+    /// A SAT verdict was claimed without shipping a model.
+    ModelMissing,
+    /// The shipped model does not satisfy the cube's assumption literals.
+    AssumptionViolated,
+    /// The shipped model falsifies the formula.
+    ModelUnsat,
+    /// A certificate references a cube outside the work unit.
+    CertificateIndex,
+    /// An addition step of the DRAT proof is not RUP with respect to the
+    /// clause database at that point.
+    ProofNotRup,
+    /// The proof ran out of steps without ever deriving a conflict.
+    ProofIncomplete,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CheckFailure::Checksum => "upload integrity check failed",
+            CheckFailure::Shape => "report shape inconsistent with the work unit",
+            CheckFailure::ModelMissing => "SAT verdict without a model",
+            CheckFailure::AssumptionViolated => "model violates an assumption literal",
+            CheckFailure::ModelUnsat => "model falsifies the formula",
+            CheckFailure::CertificateIndex => "certificate cube index outside the unit",
+            CheckFailure::ProofNotRup => "proof addition is not RUP",
+            CheckFailure::ProofIncomplete => "proof ends without a conflict",
+        })
+    }
+}
+
+/// Counters of one successful proof check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Proof steps processed before the conflict was established.
+    pub steps_checked: usize,
+    /// Unit propagations performed across all RUP checks.
+    pub propagations: u64,
+    /// Deletions that matched no live clause (lenient no-ops).
+    pub unmatched_deletes: usize,
+}
+
+/// Validates a SAT answer: the model must satisfy every assumption literal of
+/// the cube and every clause of the formula.
+///
+/// # Errors
+///
+/// [`CheckFailure::AssumptionViolated`] when an assumption literal is not
+/// true under the model, [`CheckFailure::ModelUnsat`] when some clause is
+/// falsified or undetermined.
+pub fn check_model(cnf: &Cnf, assumptions: &[Lit], model: &Assignment) -> Result<(), CheckFailure> {
+    for &lit in assumptions {
+        if model.lit_value(lit) != Value::True {
+            return Err(CheckFailure::AssumptionViolated);
+        }
+    }
+    if !cnf.is_satisfied_by(model) {
+        return Err(CheckFailure::ModelUnsat);
+    }
+    Ok(())
+}
+
+/// Checks a DRAT derivation that `cnf ∧ assumptions` is unsatisfiable.
+///
+/// # Errors
+///
+/// [`CheckFailure::ProofNotRup`] when an addition fails its RUP check,
+/// [`CheckFailure::ProofIncomplete`] when the steps run out before a
+/// conflict is derived.
+pub fn check_unsat_proof(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    proof: &DratProof,
+) -> Result<CheckStats, CheckFailure> {
+    let mut num_vars = cnf.num_vars();
+    for &lit in assumptions {
+        num_vars = num_vars.max(lit.var().index() + 1);
+    }
+    for step in &proof.steps {
+        for &lit in step.lits() {
+            num_vars = num_vars.max(lit.var().index() + 1);
+        }
+    }
+    let mut checker = Checker::new(num_vars);
+    for &lit in assumptions {
+        if checker.proven {
+            break;
+        }
+        match checker.value(lit) {
+            Value::False => checker.proven = true, // contradictory cube
+            Value::True => {}
+            Value::Unassigned => checker.enqueue(lit),
+        }
+    }
+    for clause in cnf.clauses() {
+        checker.add_clause(clause.lits());
+    }
+    if checker.propagate() {
+        checker.proven = true;
+    }
+    let mut stats = CheckStats::default();
+    for step in &proof.steps {
+        if checker.proven {
+            break;
+        }
+        match step {
+            DratStep::Add(lits) => {
+                if !checker.rup(lits) {
+                    return Err(CheckFailure::ProofNotRup);
+                }
+                checker.add_clause(lits);
+                if checker.propagate() {
+                    checker.proven = true;
+                }
+            }
+            DratStep::Delete(lits) => {
+                if !checker.delete(lits) {
+                    stats.unmatched_deletes += 1;
+                }
+            }
+        }
+        stats.steps_checked += 1;
+    }
+    stats.propagations = checker.propagations;
+    if checker.proven {
+        Ok(stats)
+    } else {
+        Err(CheckFailure::ProofIncomplete)
+    }
+}
+
+/// Sorted literal codes: the multiset key clauses are deleted by.
+fn clause_key(lits: &[Lit]) -> Vec<usize> {
+    let mut key: Vec<usize> = lits.iter().map(|l| l.code()).collect();
+    key.sort_unstable();
+    key
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+struct ClauseRec {
+    /// Deduplicated literals; positions 0 and 1 are the watched ones.
+    lits: Vec<Lit>,
+    deleted: bool,
+}
+
+/// The forward checker's propagation state: two-watched-literal clause
+/// database with a persistent root trail.
+struct Checker {
+    clauses: Vec<ClauseRec>,
+    /// Live clause ids per sorted-literal key (multiset: duplicates allowed).
+    index: HashMap<Vec<usize>, Vec<usize>>,
+    /// Clause ids watching each literal, indexed by `Lit::code`.
+    watches: Vec<Vec<usize>>,
+    /// Per-variable value, `UNDEF`/`TRUE`/`FALSE` of the positive literal.
+    assigns: Vec<u8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Root propagation derived a conflict: the refutation is established.
+    proven: bool,
+    propagations: u64,
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Checker {
+        Checker {
+            clauses: Vec::new(),
+            index: HashMap::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assigns: vec![UNDEF; num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+            proven: false,
+            propagations: 0,
+        }
+    }
+
+    fn value(&self, lit: Lit) -> Value {
+        match self.assigns[lit.var().index()] {
+            UNDEF => Value::Unassigned,
+            TRUE => {
+                if lit.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            _ => {
+                if lit.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit) {
+        debug_assert_eq!(self.value(lit), Value::Unassigned);
+        self.assigns[lit.var().index()] = if lit.is_positive() { TRUE } else { FALSE };
+        self.trail.push(lit);
+    }
+
+    /// Inserts a clause into the database under the current assignment,
+    /// enqueueing its consequence when it is unit and flagging `proven` when
+    /// it is already falsified. The caller runs [`propagate`](Self::propagate)
+    /// afterwards.
+    fn add_clause(&mut self, lits: &[Lit]) {
+        let key = clause_key(lits);
+        let id = self.clauses.len();
+        let mut dedup = lits.to_vec();
+        dedup.sort_unstable_by_key(|l| l.code());
+        dedup.dedup();
+        if dedup.is_empty() {
+            self.proven = true;
+            self.clauses.push(ClauseRec {
+                lits: dedup,
+                deleted: false,
+            });
+            self.index.entry(key).or_default().push(id);
+            return;
+        }
+        if dedup.len() == 1 {
+            match self.value(dedup[0]) {
+                Value::True => {}
+                Value::False => self.proven = true,
+                Value::Unassigned => self.enqueue(dedup[0]),
+            }
+            self.clauses.push(ClauseRec {
+                lits: dedup,
+                deleted: false,
+            });
+            self.index.entry(key).or_default().push(id);
+            return;
+        }
+        // Arrange two non-false literals (or one plus anything, enqueueing
+        // it when the rest are false) into the watch positions.
+        if let Some(i) = dedup.iter().position(|&l| self.value(l) != Value::False) {
+            dedup.swap(0, i);
+            match dedup[1..]
+                .iter()
+                .position(|&l| self.value(l) != Value::False)
+            {
+                Some(j) => dedup.swap(1, j + 1),
+                None => {
+                    // Every other literal is false: the clause is unit here.
+                    if self.value(dedup[0]) == Value::Unassigned {
+                        self.enqueue(dedup[0]);
+                    }
+                }
+            }
+        } else {
+            self.proven = true; // all literals false at the root
+        }
+        self.watches[dedup[0].code()].push(id);
+        self.watches[dedup[1].code()].push(id);
+        self.clauses.push(ClauseRec {
+            lits: dedup,
+            deleted: false,
+        });
+        self.index.entry(key).or_default().push(id);
+    }
+
+    /// Removes one live instance of the clause. Returns `false` when nothing
+    /// matched (the lenient no-op case). Watches are cleaned up lazily and
+    /// root assignments are never retracted.
+    fn delete(&mut self, lits: &[Lit]) -> bool {
+        let key = clause_key(lits);
+        let Some(ids) = self.index.get_mut(&key) else {
+            return false;
+        };
+        let Some(id) = ids.pop() else {
+            return false;
+        };
+        if ids.is_empty() {
+            self.index.remove(&key);
+        }
+        self.clauses[id].deleted = true;
+        true
+    }
+
+    /// Propagates to fixpoint; `true` on conflict. Works identically for
+    /// root assignments and for the temporary assignments of a RUP check —
+    /// watch moves performed under deeper assignments stay valid after the
+    /// trail is rolled back (the moved-to literal is even less constrained).
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+            let ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut kept = Vec::with_capacity(ws.len());
+            let mut conflict = false;
+            for &cid in &ws {
+                if conflict {
+                    kept.push(cid);
+                    continue;
+                }
+                if self.clauses[cid].deleted {
+                    continue; // lazy watch cleanup
+                }
+                if self.clauses[cid].lits[0] == false_lit {
+                    self.clauses[cid].lits.swap(0, 1);
+                }
+                let first = self.clauses[cid].lits[0];
+                if self.value(first) == Value::True {
+                    kept.push(cid);
+                    continue;
+                }
+                let len = self.clauses[cid].lits.len();
+                let mut moved = None;
+                for k in 2..len {
+                    if self.value(self.clauses[cid].lits[k]) != Value::False {
+                        moved = Some(k);
+                        break;
+                    }
+                }
+                match moved {
+                    Some(k) => {
+                        self.clauses[cid].lits.swap(1, k);
+                        let new_watch = self.clauses[cid].lits[1];
+                        self.watches[new_watch.code()].push(cid);
+                    }
+                    None => {
+                        kept.push(cid);
+                        match self.value(first) {
+                            Value::Unassigned => self.enqueue(first),
+                            Value::False => {
+                                // Conflict: keep the remaining watchers and
+                                // report. Nothing is unwound here — the
+                                // caller owns the trail.
+                                conflict = true;
+                            }
+                            Value::True => unreachable!("handled above"),
+                        }
+                    }
+                }
+            }
+            self.watches[false_lit.code()] = kept;
+            if conflict {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The RUP check: asserting the negation of every literal of `clause`
+    /// must propagate to a conflict. The temporary assignments are rolled
+    /// back before returning; the database is untouched.
+    fn rup(&mut self, clause: &[Lit]) -> bool {
+        if self.proven {
+            return true;
+        }
+        debug_assert_eq!(self.qhead, self.trail.len());
+        let mark = self.trail.len();
+        let mut implied = false;
+        for &lit in clause {
+            match self.value(lit) {
+                Value::True => {
+                    // A root-true literal satisfies the clause outright.
+                    implied = true;
+                    break;
+                }
+                Value::False => {}
+                Value::Unassigned => self.enqueue(!lit),
+            }
+        }
+        let ok = implied || self.propagate();
+        for &lit in &self.trail[mark..] {
+            self.assigns[lit.var().index()] = UNDEF;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_cnf::{Lit, Var};
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn clause(dimacs: &[i64]) -> Vec<Lit> {
+        dimacs.iter().map(|&d| lit(d)).collect()
+    }
+
+    /// {(a∨b), (a∨¬b), (¬a∨c), (¬a∨¬c)} — UNSAT, no unit propagation from
+    /// the inputs alone, and refuted by adding the single clause (a).
+    fn asymmetric_unsat() -> Cnf {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(clause(&[1, 2]));
+        cnf.add_clause(clause(&[1, -2]));
+        cnf.add_clause(clause(&[-1, 3]));
+        cnf.add_clause(clause(&[-1, -3]));
+        cnf
+    }
+
+    #[test]
+    fn accepts_a_minimal_rup_refutation() {
+        let proof = DratProof {
+            steps: vec![DratStep::Add(clause(&[1]))],
+        };
+        let stats = check_unsat_proof(&asymmetric_unsat(), &[], &proof).expect("valid proof");
+        assert_eq!(stats.steps_checked, 1);
+        assert_eq!(stats.unmatched_deletes, 0);
+    }
+
+    #[test]
+    fn accepts_the_explicit_empty_clause_form() {
+        let proof = DratProof {
+            steps: vec![
+                DratStep::Add(clause(&[1])),
+                DratStep::Delete(clause(&[1, 2])),
+                DratStep::Add(vec![]),
+            ],
+        };
+        check_unsat_proof(&asymmetric_unsat(), &[], &proof).expect("valid proof");
+    }
+
+    #[test]
+    fn rejects_a_dropped_essential_addition() {
+        // Without Add(1) the empty clause has no RUP justification.
+        let proof = DratProof {
+            steps: vec![DratStep::Add(vec![])],
+        };
+        assert_eq!(
+            check_unsat_proof(&asymmetric_unsat(), &[], &proof),
+            Err(CheckFailure::ProofNotRup)
+        );
+        let empty = DratProof::new();
+        assert_eq!(
+            check_unsat_proof(&asymmetric_unsat(), &[], &empty),
+            Err(CheckFailure::ProofIncomplete)
+        );
+    }
+
+    #[test]
+    fn rejects_deletions_permuted_ahead_of_the_addition_they_support() {
+        // Valid: derive (1) from (1 2) and (1 -2), then delete the parents.
+        let valid = DratProof {
+            steps: vec![
+                DratStep::Add(clause(&[1])),
+                DratStep::Delete(clause(&[1, 2])),
+                DratStep::Delete(clause(&[1, -2])),
+            ],
+        };
+        check_unsat_proof(&asymmetric_unsat(), &[], &valid).expect("valid proof");
+        // Permuted: the deletions land first, so (1) is no longer RUP.
+        let permuted = DratProof {
+            steps: vec![
+                DratStep::Delete(clause(&[1, 2])),
+                DratStep::Delete(clause(&[1, -2])),
+                DratStep::Add(clause(&[1])),
+            ],
+        };
+        assert_eq!(
+            check_unsat_proof(&asymmetric_unsat(), &[], &permuted),
+            Err(CheckFailure::ProofNotRup)
+        );
+    }
+
+    #[test]
+    fn rejects_a_flipped_literal() {
+        // Over the SAT formula {(1 2), (1 -2)} the clause (1) is RUP (the
+        // proof is then merely incomplete), but its flip (-1) is not RUP.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(clause(&[1, 2]));
+        cnf.add_clause(clause(&[1, -2]));
+        let original = DratProof {
+            steps: vec![DratStep::Add(clause(&[1]))],
+        };
+        assert_eq!(
+            check_unsat_proof(&cnf, &[], &original),
+            Err(CheckFailure::ProofIncomplete)
+        );
+        let flipped = DratProof {
+            steps: vec![DratStep::Add(clause(&[-1]))],
+        };
+        assert_eq!(
+            check_unsat_proof(&cnf, &[], &flipped),
+            Err(CheckFailure::ProofNotRup)
+        );
+    }
+
+    #[test]
+    fn assumptions_seed_the_root_trail() {
+        // (¬a∨b) ∧ a ∧ ¬b is refuted by propagation alone.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(clause(&[-1, 2]));
+        let proof = DratProof::new();
+        check_unsat_proof(&cnf, &[lit(1), lit(-2)], &proof).expect("cube refuted by UP");
+        // Without the cube the formula is satisfiable: same proof rejected.
+        assert_eq!(
+            check_unsat_proof(&cnf, &[], &proof),
+            Err(CheckFailure::ProofIncomplete)
+        );
+        // A self-contradictory cube is trivially unsatisfiable.
+        check_unsat_proof(&cnf, &[lit(1), lit(-1)], &proof).expect("contradictory cube");
+    }
+
+    #[test]
+    fn deleting_the_reason_of_a_root_literal_keeps_it_derived() {
+        // (a) forces a; deleting (a) afterwards must not retract it, or the
+        // follow-up addition (b) — RUP via (¬a∨b) — would be rejected.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(clause(&[1]));
+        cnf.add_clause(clause(&[-1, 2]));
+        cnf.add_clause(clause(&[-2, -1]));
+        let proof = DratProof {
+            steps: vec![
+                DratStep::Delete(clause(&[1])),
+                DratStep::Add(clause(&[2])),
+                DratStep::Add(vec![]),
+            ],
+        };
+        // Root UP already conflicts: a → b and ¬b. Proven during load.
+        check_unsat_proof(&cnf, &[], &proof).expect("accepted");
+        // The structured variant: reason deletion happens before the
+        // dependent addition, over a formula not refuted at load time.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(clause(&[1]));
+        cnf.add_clause(clause(&[-1, 2, 3]));
+        cnf.add_clause(clause(&[-1, 2, -3]));
+        cnf.add_clause(clause(&[-2, 3]));
+        cnf.add_clause(clause(&[-2, -3]));
+        let proof = DratProof {
+            steps: vec![
+                DratStep::Delete(clause(&[1])),
+                DratStep::Add(clause(&[2])), // RUP only because a stays derived
+                DratStep::Add(vec![]),
+            ],
+        };
+        check_unsat_proof(&cnf, &[], &proof).expect("reason deletion is not retraction");
+    }
+
+    #[test]
+    fn unmatched_deletes_are_lenient_and_counted() {
+        let proof = DratProof {
+            steps: vec![
+                DratStep::Delete(clause(&[7, 8])),
+                DratStep::Add(clause(&[1])),
+            ],
+        };
+        let stats = check_unsat_proof(&asymmetric_unsat(), &[], &proof).expect("accepted");
+        assert_eq!(stats.unmatched_deletes, 1);
+    }
+
+    #[test]
+    fn model_validation_checks_assumptions_and_clauses() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(clause(&[1, 2]));
+        cnf.add_clause(clause(&[-1, 3]));
+        let mut model = Assignment::new(3);
+        model.assign(Var::new(0), true);
+        model.assign(Var::new(1), false);
+        model.assign(Var::new(2), true);
+        assert_eq!(check_model(&cnf, &[], &model), Ok(()));
+        assert_eq!(check_model(&cnf, &[lit(1), lit(-2)], &model), Ok(()));
+        assert_eq!(
+            check_model(&cnf, &[lit(2)], &model),
+            Err(CheckFailure::AssumptionViolated)
+        );
+        let mut bad = model.clone();
+        bad.assign(Var::new(2), false);
+        assert_eq!(check_model(&cnf, &[], &bad), Err(CheckFailure::ModelUnsat));
+        // A partial model leaving a clause undetermined is rejected too.
+        let mut partial = Assignment::new(3);
+        partial.assign(Var::new(0), true);
+        assert_eq!(
+            check_model(&cnf, &[], &partial),
+            Err(CheckFailure::ModelUnsat)
+        );
+    }
+
+    #[test]
+    fn failure_display_is_human_readable() {
+        assert_eq!(
+            CheckFailure::ProofNotRup.to_string(),
+            "proof addition is not RUP"
+        );
+        assert_eq!(
+            CheckFailure::Checksum.to_string(),
+            "upload integrity check failed"
+        );
+    }
+}

@@ -13,6 +13,9 @@
 //!   set produces one member of a decomposition family (one sub-problem of a
 //!   partitioning in the sense of Semenov & Zaikin, PaCT 2015).
 //! * [`dimacs`] — reading and writing the DIMACS CNF exchange format.
+//! * [`drat`] — DRAT proof steps ([`DratStep`], [`DratProof`]) and the
+//!   standard text codec, shared by the solver's proof logger and the
+//!   standalone certificate checker.
 //!
 //! # Example
 //!
@@ -34,12 +37,14 @@ mod assignment;
 mod clause;
 mod cube;
 pub mod dimacs;
+pub mod drat;
 mod formula;
 mod var;
 
 pub use assignment::Assignment;
 pub use clause::Clause;
 pub use cube::Cube;
+pub use drat::{DratProof, DratStep};
 pub use formula::Cnf;
 pub use var::{Lit, Var};
 

@@ -17,8 +17,9 @@
 
 use crate::lease::{LeaseTable, ResultDisposition};
 use crate::transport::{ClientMsg, ServerMsg, Timed, Transport, WorkUnit, WorkUnitId};
-use pdsat_cnf::{Assignment, Value, Var};
-use pdsat_core::SolveReport;
+use pdsat_checker::{check_model, check_unsat_proof, CheckFailure};
+use pdsat_cnf::{Assignment, Cnf, Value, Var};
+use pdsat_core::{DecompositionSet, SolveReport};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -68,8 +69,14 @@ pub struct CoordinatorStats {
     pub no_work_replies: usize,
     /// Leases that expired and were re-issued.
     pub expired_leases: usize,
-    /// Results discarded by validation.
+    /// Results discarded by validation (all rejection kinds combined).
     pub invalid_results: usize,
+    /// The subset of `invalid_results` rejected by *semantic* checking —
+    /// a claimed model that does not satisfy the formula, or an UNSAT
+    /// certificate that fails the DRAT check — as opposed to transport
+    /// integrity or shape failures. A non-zero count is the volunteer-grid
+    /// equivalent of a hostile (or broken) client.
+    pub rejected_certificates: usize,
     /// Results discarded because the client had already contributed to the
     /// unit (duplicate uploads) or the unit was already complete.
     pub duplicate_results: usize,
@@ -438,7 +445,32 @@ impl Coordinator {
     /// The event budget is the test hook for crash recovery: a run cut off
     /// by `OutOfEvents` models a killed coordinator whose last persisted
     /// checkpoint is [`checkpoint`](Coordinator::checkpoint).
+    ///
+    /// Results pass only the transport integrity and shape checks; use
+    /// [`run_validated`](Coordinator::run_validated) to also check claimed
+    /// models and UNSAT certificates before a result may count towards a
+    /// quorum.
     pub fn run<T: Transport>(&mut self, transport: &mut T, max_events: Option<u64>) -> RunStatus {
+        self.run_validated(transport, max_events, &mut |_, _| Ok(()))
+    }
+
+    /// [`run`](Coordinator::run) with a semantic validator in the trust path:
+    /// every submitted result that passes the integrity and shape checks is
+    /// handed to `validate` together with its work unit, and only an `Ok`
+    /// verdict lets it count towards the unit's quorum. A rejected result is
+    /// recorded as [`ResultDisposition::Rejected`] — the unit stays
+    /// incomplete and is re-leased, exactly as if the upload were corrupted.
+    ///
+    /// [`validate_unit_report`] is the intended validator: it model-checks
+    /// claimed SAT answers and DRAT-checks attached UNSAT certificates.
+    /// Certificates are *stripped* after validation — checkpoints store only
+    /// the checked verdicts, never the proofs.
+    pub fn run_validated<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        max_events: Option<u64>,
+        validate: &mut dyn FnMut(&WorkUnit, &SolveReport) -> Result<(), CheckFailure>,
+    ) -> RunStatus {
         while !self.is_complete() {
             if max_events.is_some_and(|budget| self.stats.events_processed >= budget) {
                 return RunStatus::OutOfEvents;
@@ -463,14 +495,10 @@ impl Coordinator {
                 ClientMsg::SubmitResult {
                     client,
                     unit,
-                    report,
+                    mut report,
                     checksum_ok,
                 } => {
-                    let expected = self.units.get(unit as usize).map(|u| u.num_cubes);
-                    let valid = checksum_ok
-                        && expected == Some(report.cubes_processed)
-                        && report.set_size == self.checkpoint.set_size
-                        && report.per_cube_costs.len() == report.cubes_processed;
+                    let valid = self.validate_submission(unit, &report, checksum_ok, validate);
                     match self.leases.record_result(unit, client, valid) {
                         ResultDisposition::Counted {
                             quorum_reached,
@@ -479,6 +507,10 @@ impl Coordinator {
                             if late {
                                 self.stats.late_results += 1;
                             }
+                            // Certificates were checked above; only the
+                            // verdicts are durable (the checkpoint codec
+                            // never carries proofs).
+                            report.certificates.clear();
                             // Idempotent aggregation: the first counted
                             // result pins the unit's canonical report;
                             // replicas never overwrite it.
@@ -490,14 +522,42 @@ impl Coordinator {
                         ResultDisposition::AlreadyComplete | ResultDisposition::DuplicateClient => {
                             self.stats.duplicate_results += 1;
                         }
-                        ResultDisposition::Invalid => {
+                        ResultDisposition::Rejected(failure) => {
                             self.stats.invalid_results += 1;
+                            if !matches!(failure, CheckFailure::Checksum | CheckFailure::Shape) {
+                                self.stats.rejected_certificates += 1;
+                            }
                         }
                     }
                 }
             }
         }
         RunStatus::Complete
+    }
+
+    /// The coordinator-side validation pipeline of one submission: transport
+    /// integrity, then report shape against the claimed unit, then the
+    /// caller's semantic validator.
+    fn validate_submission(
+        &self,
+        unit: WorkUnitId,
+        report: &SolveReport,
+        checksum_ok: bool,
+        validate: &mut dyn FnMut(&WorkUnit, &SolveReport) -> Result<(), CheckFailure>,
+    ) -> Result<(), CheckFailure> {
+        if !checksum_ok {
+            return Err(CheckFailure::Checksum);
+        }
+        let Some(work_unit) = self.units.get(unit as usize) else {
+            return Err(CheckFailure::Shape);
+        };
+        let shape_ok = work_unit.num_cubes == report.cubes_processed
+            && report.set_size == self.checkpoint.set_size
+            && report.per_cube_costs.len() == report.cubes_processed;
+        if !shape_ok {
+            return Err(CheckFailure::Shape);
+        }
+        validate(work_unit, report)
     }
 
     /// Merges the completed units, in enumeration order, into the report of
@@ -513,6 +573,46 @@ impl Coordinator {
             self.checkpoint.completed.values(),
         ))
     }
+}
+
+/// The coordinator-side *semantic* validator for [`Coordinator::run_validated`]:
+/// checks everything a unit report claims about the actual formula.
+///
+/// * A claimed satisfiable cube must ship a model that sets every literal of
+///   the cube and satisfies every clause of `cnf`
+///   ([`CheckFailure::ModelMissing`] / [`AssumptionViolated`](CheckFailure::AssumptionViolated) /
+///   [`ModelUnsat`](CheckFailure::ModelUnsat) otherwise). The model check is
+///   one linear scan — cheap enough to run on every ingestion.
+/// * Every attached DRAT certificate must refute `cnf ∧ cube` under forward
+///   RUP checking, with the cube reconstructed from the unit's enumeration
+///   window ([`CheckFailure::CertificateIndex`] for an index outside it).
+///
+/// Reports from solvers running without `SolverConfig::proof` carry no
+/// certificates and only pay the model scan.
+pub fn validate_unit_report(
+    cnf: &Cnf,
+    set: &DecompositionSet,
+    unit: &WorkUnit,
+    report: &SolveReport,
+) -> Result<(), CheckFailure> {
+    if let Some(local) = report.first_sat_index {
+        if local >= report.cubes_processed {
+            return Err(CheckFailure::Shape);
+        }
+        let Some(model) = report.model.as_ref() else {
+            return Err(CheckFailure::ModelMissing);
+        };
+        let cube = set.cube_from_index((unit.first_cube + local) as u64);
+        check_model(cnf, cube.lits(), model)?;
+    }
+    for cert in &report.certificates {
+        if cert.cube_index >= report.cubes_processed {
+            return Err(CheckFailure::CertificateIndex);
+        }
+        let cube = set.cube_from_index((unit.first_cube + cert.cube_index) as u64);
+        check_unsat_proof(cnf, cube.lits(), &cert.proof)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -638,6 +738,196 @@ mod tests {
             "pdsat-coordinator-checkpoint v1\nfamily set_size=1 total_cubes=4 work_unit_size=2\nunit 7 2 0 0 0 0 0 0 - - - -\n"
         )
         .is_err());
+    }
+
+    /// A hand-scripted transport: a fixed queue of client messages, with
+    /// work requests answered by nothing (the script already contains every
+    /// submission). Lets tests inject hostile uploads the loopback's honest
+    /// clients never produce.
+    struct Scripted {
+        queue: std::collections::VecDeque<Timed<ClientMsg>>,
+    }
+
+    impl Transport for Scripted {
+        fn send(&mut self, _to: usize, _msg: ServerMsg, _now: f64) {}
+        fn recv(&mut self) -> Option<Timed<ClientMsg>> {
+            self.queue.pop_front()
+        }
+    }
+
+    fn scripted(msgs: Vec<ClientMsg>) -> Scripted {
+        Scripted {
+            queue: msgs
+                .into_iter()
+                .enumerate()
+                .map(|(i, payload)| Timed {
+                    at: i as f64,
+                    payload,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn forged_models_are_rejected_until_an_honest_replica_arrives() {
+        use pdsat_cnf::Lit;
+        // C = (x0 ∨ x1), set = {x0}: both cubes satisfiable.
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::positive(Var::new(0)), Lit::positive(Var::new(1))]);
+        let set = DecompositionSet::new([Var::new(0)]);
+        let config = CoordinatorConfig {
+            work_unit_size: 2,
+            redundancy: 1,
+            lease_timeout: 1e9,
+        };
+        let honest = {
+            let mut r = SolveReport::empty(1);
+            r.cubes_processed = 2;
+            r.per_cube_costs = vec![1.0, 1.0];
+            r.total_cost = 2.0;
+            r.sat_count = 2;
+            r.first_sat_index = Some(0);
+            r.cost_to_first_sat = Some(1.0);
+            // Cube 0 is ¬x0, so the model must set x1.
+            let mut model = Assignment::new(2);
+            model.assign(Var::new(0), false);
+            model.assign(Var::new(1), true);
+            r.model = Some(model);
+            r
+        };
+        let forged = {
+            let mut r = honest.clone();
+            // Claims SAT with a model that falsifies the only clause.
+            let mut model = Assignment::new(2);
+            model.assign(Var::new(0), false);
+            model.assign(Var::new(1), false);
+            r.model = Some(model);
+            r
+        };
+        let modeless = {
+            let mut r = honest.clone();
+            r.model = None;
+            r
+        };
+        let mut coordinator = Coordinator::new(1, 2, &config);
+        let mut transport = scripted(vec![
+            ClientMsg::SubmitResult {
+                client: 0,
+                unit: 0,
+                report: forged,
+                checksum_ok: true, // the upload itself is intact
+            },
+            ClientMsg::SubmitResult {
+                client: 1,
+                unit: 0,
+                report: modeless,
+                checksum_ok: true,
+            },
+            ClientMsg::SubmitResult {
+                client: 2,
+                unit: 0,
+                report: honest,
+                checksum_ok: true,
+            },
+        ]);
+        let status = coordinator.run_validated(&mut transport, None, &mut |unit, report| {
+            validate_unit_report(&cnf, &set, unit, report)
+        });
+        // The forged and model-less uploads are rejected despite passing the
+        // checksum; only the honest replica completes the unit.
+        assert_eq!(status, RunStatus::Complete);
+        let stats = coordinator.stats();
+        assert_eq!(stats.invalid_results, 2);
+        assert_eq!(stats.rejected_certificates, 2);
+        let aggregate = coordinator.aggregate().expect("honest replica counted");
+        let model = aggregate.model.expect("model kept");
+        assert!(cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn unsat_certificates_are_checked_and_stripped_from_the_checkpoint() {
+        use pdsat_cnf::{Cube, DratProof, DratStep, Lit};
+        use pdsat_core::{solve_cubes, CubeCertificate, SolveModeConfig};
+        use pdsat_solver::SolverConfig;
+        // Pigeonhole 4→3: every cube of any family is UNSAT.
+        let (pigeons, holes) = (4usize, 3usize);
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * holes + j) as u32));
+        let mut cnf = Cnf::new(pigeons * holes);
+        for i in 0..pigeons {
+            cnf.add_clause((0..holes).map(|j| var(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    cnf.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        let set = DecompositionSet::new((0..2).map(Var::new));
+        let cubes: Vec<Cube> = set.cubes().collect();
+        let solve_config = SolveModeConfig {
+            solver_config: SolverConfig {
+                proof: true,
+                simplify: false,
+                ..SolverConfig::default()
+            },
+            backend: pdsat_core::BackendKind::Fresh,
+            ..SolveModeConfig::default()
+        };
+        let config = CoordinatorConfig {
+            work_unit_size: 2,
+            redundancy: 1,
+            lease_timeout: 1e9,
+        };
+        // Each unit solved locally with proof logging on: real certificates.
+        let unit0 = solve_cubes(&cnf, &set, &cubes[0..2], &solve_config, None);
+        let unit1 = solve_cubes(&cnf, &set, &cubes[2..4], &solve_config, None);
+        assert_eq!(unit0.certificates.len(), 2, "every UNSAT cube certified");
+        // A tampered certificate: drop everything but the (non-RUP) empty
+        // clause on one cube of unit 1.
+        let mut tampered = unit1.clone();
+        tampered.certificates[0] = CubeCertificate {
+            cube_index: 0,
+            proof: DratProof {
+                steps: vec![DratStep::Add(vec![])],
+            },
+        };
+        let mut coordinator = Coordinator::new(2, 4, &config);
+        let mut transport = scripted(vec![
+            ClientMsg::SubmitResult {
+                client: 0,
+                unit: 0,
+                report: unit0,
+                checksum_ok: true,
+            },
+            ClientMsg::SubmitResult {
+                client: 1,
+                unit: 1,
+                report: tampered,
+                checksum_ok: true,
+            },
+            ClientMsg::SubmitResult {
+                client: 2,
+                unit: 1,
+                report: unit1,
+                checksum_ok: true,
+            },
+        ]);
+        let status = coordinator.run_validated(&mut transport, None, &mut |unit, report| {
+            validate_unit_report(&cnf, &set, unit, report)
+        });
+        assert_eq!(status, RunStatus::Complete);
+        let stats = coordinator.stats();
+        assert_eq!(stats.invalid_results, 1, "the tampered proof is rejected");
+        assert_eq!(stats.rejected_certificates, 1);
+        // Checkpoints never store proofs: certificates are checked on
+        // ingestion and stripped before the report becomes durable.
+        for report in coordinator.checkpoint().completed.values() {
+            assert!(report.certificates.is_empty());
+        }
+        let aggregate = coordinator.aggregate().expect("complete");
+        assert_eq!(aggregate.sat_count, 0);
+        assert_eq!(aggregate.cubes_processed, 4);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   results failing the integrity check are discarded.
 
 use crate::transport::{ClientId, WorkUnitId};
+use pdsat_checker::CheckFailure;
 use std::collections::BTreeSet;
 
 /// A live lease of one unit to one client.
@@ -59,8 +60,9 @@ pub enum ResultDisposition {
     /// This client already contributed a valid result for this unit (a
     /// duplicate upload, or a retry after a reconnect).
     DuplicateClient,
-    /// The result failed validation and is discarded.
-    Invalid,
+    /// The result failed validation — integrity, shape, model or proof
+    /// checking — and is discarded. The failure says which check rejected it.
+    Rejected(CheckFailure),
 }
 
 /// Lease and quorum bookkeeping for every work unit of one family.
@@ -161,7 +163,8 @@ impl LeaseTable {
 
     /// Applies a submitted result to the state machine and says what the
     /// coordinator should do with it. `valid` is the verdict of the
-    /// coordinator-side validation (integrity check plus shape checks).
+    /// coordinator-side validation (integrity and shape checks, plus model
+    /// and certificate checking when the report carries them).
     ///
     /// # Panics
     ///
@@ -170,7 +173,7 @@ impl LeaseTable {
         &mut self,
         unit: WorkUnitId,
         client: ClientId,
-        valid: bool,
+        valid: Result<(), CheckFailure>,
     ) -> ResultDisposition {
         let redundancy = self.redundancy;
         let state = &mut self.units[unit as usize];
@@ -183,8 +186,8 @@ impl LeaseTable {
         if state.contributors.contains(&client) {
             return ResultDisposition::DuplicateClient;
         }
-        if !valid {
-            return ResultDisposition::Invalid;
+        if let Err(failure) = valid {
+            return ResultDisposition::Rejected(failure);
         }
         state.contributors.insert(client);
         state.valid_results += 1;
@@ -219,7 +222,7 @@ mod tests {
 
         // Client 0 submits a valid result: quorum 1/2.
         assert_eq!(
-            table.record_result(0, 0, true),
+            table.record_result(0, 0, Ok(())),
             ResultDisposition::Counted {
                 quorum_reached: false,
                 late: false
@@ -228,7 +231,7 @@ mod tests {
         // The same client cannot be leased unit 0 again, nor counted twice.
         assert_ne!(table.next_assignment(0), Some(0));
         assert_eq!(
-            table.record_result(0, 0, true),
+            table.record_result(0, 0, Ok(())),
             ResultDisposition::DuplicateClient
         );
 
@@ -238,7 +241,7 @@ mod tests {
         table.issue(0, 3, 200.0);
         // Client 1's late result still counts and completes the quorum.
         assert_eq!(
-            table.record_result(0, 1, true),
+            table.record_result(0, 1, Ok(())),
             ResultDisposition::Counted {
                 quorum_reached: true,
                 late: true
@@ -247,22 +250,25 @@ mod tests {
         assert_eq!(table.complete_units(), 1);
         // Anything further for unit 0 is redundant.
         assert_eq!(
-            table.record_result(0, 3, true),
+            table.record_result(0, 3, Ok(())),
             ResultDisposition::AlreadyComplete
         );
 
-        // Invalid results never count.
-        assert_eq!(table.record_result(1, 2, false), ResultDisposition::Invalid);
+        // Rejected results never count, and the failure kind is surfaced.
+        assert_eq!(
+            table.record_result(1, 2, Err(CheckFailure::Checksum)),
+            ResultDisposition::Rejected(CheckFailure::Checksum)
+        );
         assert!(!table.all_complete());
         assert_eq!(
-            table.record_result(1, 4, true),
+            table.record_result(1, 4, Ok(())),
             ResultDisposition::Counted {
                 quorum_reached: false,
                 late: true
             }
         );
         assert_eq!(
-            table.record_result(1, 5, true),
+            table.record_result(1, 5, Ok(())),
             ResultDisposition::Counted {
                 quorum_reached: true,
                 late: true

@@ -40,9 +40,11 @@ mod volunteer;
 pub use client::{volunteer_population, ClientBehavior, ClientFate, VolunteerClient};
 pub use cluster::{simulate_cluster, ClusterConfig, ClusterReport};
 pub use coordinator::{
-    Coordinator, CoordinatorCheckpoint, CoordinatorConfig, CoordinatorStats, RunStatus,
+    validate_unit_report, Coordinator, CoordinatorCheckpoint, CoordinatorConfig, CoordinatorStats,
+    RunStatus,
 };
 pub use lease::{LeaseTable, ResultDisposition};
+pub use pdsat_checker::CheckFailure;
 pub use transport::{
     synthetic_family_solver, ClientId, ClientMsg, LoopbackConfig, LoopbackTransport, ServerMsg,
     Timed, Transport, TransportStats, WorkUnit, WorkUnitId,

@@ -28,9 +28,9 @@ use pdsat_core::{
     SolveModeConfig, Tabu, TabuConfig,
 };
 use pdsat_distrib::{
-    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, ClusterConfig,
-    Coordinator, CoordinatorCheckpoint, CoordinatorConfig, GridConfig, GridReport, LoopbackConfig,
-    LoopbackTransport, RunStatus, WorkUnit,
+    simulate_cluster, simulate_volunteer_grid, synthetic_host_population, validate_unit_report,
+    ClusterConfig, Coordinator, CoordinatorCheckpoint, CoordinatorConfig, GridConfig, GridReport,
+    LoopbackConfig, LoopbackTransport, RunStatus, WorkUnit,
 };
 use serde::{Deserialize, Serialize};
 
@@ -196,11 +196,20 @@ pub fn run_sathome(workload: &ScaledWorkload, hosts: usize) -> SatHomeResult {
             ..LoopbackConfig::default()
         };
 
+        // Every submitted result goes through the trust path at ingestion:
+        // SAT claims are model-checked against the original formula (and any
+        // shipped UNSAT certificate proof-checked) before counting toward
+        // the quorum — redundancy handles chaos, validation handles forgery.
+        let cnf = instance.cnf();
+        let mut validate = |unit: &WorkUnit, report: &pdsat_core::SolveReport| {
+            validate_unit_report(cnf, &set, unit, report)
+        };
+
         // Segment one: run until the simulated kill (a small event budget).
         let mut coordinator = Coordinator::new(set.len(), cubes.len(), &coordinator_config);
         let mut transport = LoopbackTransport::new(loopback(workload.seed), &mut solve_unit);
         let kill_budget = 4 * (cubes.len().div_ceil(work_unit_size) as u64 + 1);
-        let status = coordinator.run(&mut transport, Some(kill_budget));
+        let status = coordinator.run_validated(&mut transport, Some(kill_budget), &mut validate);
         let mut assignments = coordinator.stats().assignments;
         let mut reissued = coordinator.stats().expired_leases;
         let mut makespan = coordinator.stats().makespan;
@@ -218,7 +227,7 @@ pub fn run_sathome(workload: &ScaledWorkload, hosts: usize) -> SatHomeResult {
             coordinator = Coordinator::resume(restored, &coordinator_config);
             let mut transport =
                 LoopbackTransport::new(loopback(workload.seed ^ 0x5EED), &mut solve_unit);
-            let status = coordinator.run(&mut transport, None);
+            let status = coordinator.run_validated(&mut transport, None, &mut validate);
             assert_eq!(
                 status,
                 RunStatus::Complete,

@@ -129,6 +129,8 @@ pub use restart::{RandomRestart, RandomRestartConfig};
 pub use search::{
     SearchCheckpoint, SearchLimits, SearchOutcome, SearchStep, StopCondition, VisitedPoint,
 };
-pub use solve_mode::{solve_cubes, solve_family, FamilySolver, SolveModeConfig, SolveReport};
+pub use solve_mode::{
+    solve_cubes, solve_family, CubeCertificate, FamilySolver, SolveModeConfig, SolveReport,
+};
 pub use space::{Point, SearchSpace};
 pub use tabu::{NewCenterHeuristic, Tabu, TabuConfig};

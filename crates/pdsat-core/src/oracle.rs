@@ -29,7 +29,7 @@ pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBa
 pub use cache::PointCache;
 
 use crate::CostMetric;
-use pdsat_cnf::{Assignment, Cnf, Cube, Var};
+use pdsat_cnf::{Assignment, Cnf, Cube, DratProof, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats, Verdict};
 use pool::{BatchShared, WorkerPool};
 use serde::{Deserialize, Serialize};
@@ -61,6 +61,13 @@ pub struct CubeOutcome {
     /// A model of `C ∧ cube`, when the sub-problem was satisfiable and model
     /// collection was enabled.
     pub model: Option<Assignment>,
+    /// DRAT certificate of an UNSAT verdict, checkable against the original
+    /// formula with the cube's literals as root assumptions. Present exactly
+    /// when [`SolverConfig::proof`] is enabled and the verdict is UNSAT.
+    /// Skipped by the wire codec — certificates are checked at ingestion and
+    /// stripped, never persisted.
+    #[serde(skip)]
+    pub proof: Option<DratProof>,
 }
 
 /// Result of processing a whole batch.
@@ -560,6 +567,7 @@ fn finish_outcome(
         verdict: summary,
         conflicts: raw.stats_delta.conflicts,
         model,
+        proof: raw.proof,
     }
 }
 

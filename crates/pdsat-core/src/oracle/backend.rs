@@ -17,7 +17,7 @@
 //! analogue of PDSAT's long-lived MiniSat worker processes. The full
 //! behavioural contract lives in DESIGN.md ("CubeBackend contract").
 
-use pdsat_cnf::{Cnf, Cube, Var};
+use pdsat_cnf::{Cnf, Cube, DratProof, Var};
 use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, SolverStats, Verdict};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -43,6 +43,11 @@ pub struct BackendOutcome {
     /// performs (a fresh backend counts loading the clause database, exactly
     /// as in the paper where every sub-problem is a complete MiniSat run).
     pub elapsed: Duration,
+    /// A DRAT certificate of the UNSAT verdict, checkable against the
+    /// *original* formula with the cube's literals seeded as root
+    /// assumptions. Present exactly when [`SolverConfig::proof`] is enabled
+    /// and the verdict is [`Verdict::Unsat`].
+    pub proof: Option<DratProof>,
 }
 
 /// A strategy for solving the sub-problems of decomposition families.
@@ -264,10 +269,12 @@ impl CubeBackend for FreshBackend {
         }
         let stats_delta = solver.stats().delta_since(&base);
         self.batch_stats.absorb(&stats_delta);
+        let proof = solver.unsat_certificate();
         BackendOutcome {
             verdict,
             stats_delta,
             elapsed,
+            proof,
         }
     }
 
@@ -376,6 +383,7 @@ impl CubeBackend for WarmBackend {
             verdict,
             stats_delta,
             elapsed,
+            proof: self.solver.unsat_certificate(),
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::oracle::{BackendKind, BatchConfig, CubeOracle, VerdictSummary};
 use crate::{BatchResult, CostMetric, DecompositionSet};
-use pdsat_cnf::{Assignment, Cnf, Cube, Var};
+use pdsat_cnf::{Assignment, Cnf, Cube, DratProof, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -55,6 +55,21 @@ impl Default for SolveModeConfig {
     }
 }
 
+/// A DRAT certificate for one unsatisfiable cube of a family, attached to
+/// the [`SolveReport`] when [`SolverConfig::proof`] is enabled.
+///
+/// The proof is checkable against the **original** formula with the cube's
+/// literals seeded as root assumptions (the solver's proof stream starts at
+/// the input clauses; preprocessing emissions are part of the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeCertificate {
+    /// Index of the cube in family enumeration order (re-based to the whole
+    /// family by [`SolveReport::merge_ordered`]).
+    pub cube_index: usize,
+    /// The DRAT derivation ending in the empty clause.
+    pub proof: DratProof,
+}
+
 /// Result of processing a decomposition family in solving mode.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveReport {
@@ -92,6 +107,12 @@ pub struct SolveReport {
     pub model: Option<Assignment>,
     /// Per-cube costs in enumeration order (useful for makespan simulation).
     pub per_cube_costs: Vec<f64>,
+    /// DRAT certificates of the UNSAT cubes (empty unless
+    /// [`SolverConfig::proof`] was enabled). Like the model, certificates do
+    /// not travel over the wire codec: the coordinator checks them at
+    /// ingestion and strips them before checkpointing.
+    #[serde(skip)]
+    pub certificates: Vec<CubeCertificate>,
 }
 
 impl SolveReport {
@@ -112,6 +133,7 @@ impl SolveReport {
             saved_propagations: 0,
             model: None,
             per_cube_costs: Vec::new(),
+            certificates: Vec::new(),
         }
     }
 
@@ -144,6 +166,14 @@ impl SolveReport {
                     merged.model = unit.model.clone();
                 }
             }
+            // Certificate indices are local to the unit's slice; re-base them
+            // before the unit's cube count is added.
+            merged
+                .certificates
+                .extend(unit.certificates.iter().map(|c| CubeCertificate {
+                    cube_index: merged.cubes_processed + c.cube_index,
+                    proof: c.proof.clone(),
+                }));
             merged.cubes_processed += unit.cubes_processed;
             merged.total_cost += unit.total_cost;
             merged.sat_count += unit.sat_count;
@@ -283,13 +313,22 @@ pub fn solve_cubes(
 }
 
 /// Folds a [`BatchResult`] into the solving-mode report.
-fn report_from_batch(set: &DecompositionSet, batch: BatchResult) -> SolveReport {
+fn report_from_batch(set: &DecompositionSet, mut batch: BatchResult) -> SolveReport {
     let mut total_cost = 0.0;
     let mut cost_to_first_sat = None;
     let mut first_sat_index = None;
     let mut sat_count = 0;
     let mut unknown_count = 0;
     let mut model = None;
+    let mut certificates = Vec::new();
+    for outcome in &mut batch.outcomes {
+        if let Some(proof) = outcome.proof.take() {
+            certificates.push(CubeCertificate {
+                cube_index: outcome.index,
+                proof,
+            });
+        }
+    }
     for outcome in &batch.outcomes {
         total_cost += outcome.cost;
         match outcome.verdict {
@@ -319,6 +358,7 @@ fn report_from_batch(set: &DecompositionSet, batch: BatchResult) -> SolveReport 
         saved_propagations: batch.solver_stats.saved_propagations,
         model,
         per_cube_costs: batch.costs().collect(),
+        certificates,
     }
 }
 

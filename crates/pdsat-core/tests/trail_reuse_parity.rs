@@ -5,9 +5,17 @@
 //! the deterministic replay of shared assumption prefixes, never changes
 //! the search. This is the head-to-head the CI bench gate measures for
 //! speed; here it is pinned for answers.
+//!
+//! Proof logging is on for the reuse-enabled oracle, so the suite doubles
+//! as the differential certificate hook at the oracle level: every UNSAT
+//! cube outcome must carry a DRAT certificate the independent checker
+//! accepts against the original formula with the cube seeded as roots.
 
+use pdsat_checker::check_unsat_proof;
 use pdsat_cnf::{Cnf, Cube, Lit, Var};
-use pdsat_core::{BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet};
+use pdsat_core::{
+    BackendKind, BatchConfig, CostMetric, CubeOracle, DecompositionSet, VerdictSummary,
+};
 use pdsat_solver::{Budget, SolverConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +45,7 @@ fn warm_config(trail_reuse: bool, budget: Budget) -> BatchConfig {
         budget,
         solver_config: SolverConfig {
             trail_reuse,
+            proof: true,
             ..SolverConfig::default()
         },
         ..BatchConfig::default()
@@ -47,6 +56,7 @@ fn warm_config(trail_reuse: bool, budget: Budget) -> BatchConfig {
 fn reuse_on_and_off_report_identical_verdicts_and_costs() {
     let mut rng = StdRng::seed_from_u64(0x9E05E);
     let mut reused_total = 0;
+    let mut certified_unsat = 0usize;
     for round in 0..10 {
         let num_vars = 12 + (round % 4) * 2;
         let num_clauses = (num_vars as f64 * (3.4 + 0.3 * (round % 5) as f64)) as usize;
@@ -82,6 +92,22 @@ fn reuse_on_and_off_report_identical_verdicts_and_costs() {
                 x.index
             );
             assert_eq!(x.conflicts, y.conflicts);
+            if x.verdict == VerdictSummary::Unsat {
+                certified_unsat += 1;
+                for (label, outcome) in [("reuse-on", x), ("reuse-off", y)] {
+                    let proof = outcome.proof.as_ref().unwrap_or_else(|| {
+                        panic!("round {round}: {label} UNSAT cube without certificate")
+                    });
+                    check_unsat_proof(&cnf, cubes[outcome.index].lits(), proof).unwrap_or_else(
+                        |failure| {
+                            panic!(
+                                "round {round}: checker rejected {label} certificate for cube {}: {failure}",
+                                outcome.index
+                            )
+                        },
+                    );
+                }
+            }
             match (&x.model, &y.model) {
                 (Some(ma), Some(mb)) => {
                     assert_eq!(ma, mb, "round {round}: models diverged");
@@ -105,6 +131,10 @@ fn reuse_on_and_off_report_identical_verdicts_and_costs() {
         reused_total > 0,
         "the families must actually exercise trail reuse"
     );
+    assert!(
+        certified_unsat > 0,
+        "the families must actually exercise the certificate hook"
+    );
 }
 
 #[test]
@@ -123,6 +153,11 @@ fn reuse_parity_holds_under_conflict_budgets() {
     for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
         assert_eq!(x.verdict, y.verdict, "cube {}", x.index);
         assert_eq!(x.cost, y.cost, "cube {}", x.index);
+        if x.verdict == VerdictSummary::Unsat {
+            let proof = x.proof.as_ref().expect("UNSAT cube without certificate");
+            check_unsat_proof(&cnf, cubes[x.index].lits(), proof)
+                .unwrap_or_else(|failure| panic!("cube {}: {failure}", x.index));
+        }
     }
     assert_eq!(a.solver_stats.conflicts, b.solver_stats.conflicts);
 }

@@ -94,6 +94,17 @@ pub struct SolverConfig {
     /// propagating the negations of its literals and shortened when a prefix
     /// already implies it.
     pub vivify: bool,
+    /// Record a DRAT derivation of every clause the solver adds or removes
+    /// (learnt clauses, learnt-DB reductions, and all inprocessing rewrites)
+    /// into an in-memory [`ProofLogger`](crate::ProofLogger) (default
+    /// `false`). With the log enabled, `Solver::unsat_certificate` emits a
+    /// checkable certificate after every UNSAT answer — including
+    /// assumption-scoped ones, which the checker verifies with the cube's
+    /// literals seeded as root assignments. With it disabled the solver's
+    /// behaviour, verdicts and statistics are bit-identical to a build
+    /// without the feature (logging is pure observation; see DESIGN.md,
+    /// "Proof logging & certificate checking").
+    pub proof: bool,
 }
 
 impl Default for SolverConfig {
@@ -117,6 +128,7 @@ impl Default for SolverConfig {
             elim_grow_limit: 0,
             subsumption_limit: 10_000_000,
             vivify: true,
+            proof: false,
         }
     }
 }
@@ -141,6 +153,7 @@ mod tests {
         assert_eq!(cfg.elim_grow_limit, 0);
         assert!(cfg.subsumption_limit > 0);
         assert!(cfg.vivify);
+        assert!(!cfg.proof, "proof logging is opt-in");
     }
 
     #[test]

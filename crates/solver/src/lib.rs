@@ -44,6 +44,7 @@ mod config;
 mod heap;
 mod lbool;
 mod luby;
+mod proof;
 mod simplify;
 mod solver;
 mod stats;
@@ -51,5 +52,6 @@ mod stats;
 pub use budget::{Budget, InterruptFlag, StopReason};
 pub use config::SolverConfig;
 pub use luby::luby;
+pub use proof::ProofLogger;
 pub use solver::{Solver, Verdict};
 pub use stats::SolverStats;

@@ -14,7 +14,7 @@
 //! must be a deterministic algorithm `A`).
 
 use crate::lbool::LBool;
-use pdsat_cnf::{Lit, Var};
+use pdsat_cnf::{DratStep, Lit, Var};
 use std::collections::VecDeque;
 
 /// One eliminated variable together with *one side* of its occurrence list
@@ -63,6 +63,11 @@ pub(crate) struct SimplifyOutcome {
     pub counters: SimplifyCounters,
     /// `true` if simplification derived the empty clause.
     pub unsat: bool,
+    /// DRAT steps for every rewrite performed, in derivation order. Empty
+    /// unless [`VectorSimplifier::enable_proof`] was called. Additions are
+    /// logged before the deletions that depend on them, so each addition is
+    /// RUP against the clauses still present at its position in the stream.
+    pub proof: Vec<DratStep>,
 }
 
 /// A clause under simplification: sorted literal vector plus a 64-bit
@@ -131,6 +136,9 @@ pub(crate) struct VectorSimplifier {
     grow_limit: usize,
     counters: SimplifyCounters,
     unsat: bool,
+    /// DRAT log of every rewrite, `None` when logging is disabled (the
+    /// default; see [`VectorSimplifier::enable_proof`]).
+    proof: Option<Vec<DratStep>>,
 }
 
 impl VectorSimplifier {
@@ -154,6 +162,26 @@ impl VectorSimplifier {
             grow_limit,
             counters: SimplifyCounters::default(),
             unsat: false,
+            proof: None,
+        }
+    }
+
+    /// Turns on DRAT logging: every clause the engine derives or discards is
+    /// recorded into [`SimplifyOutcome::proof`]. Logging is pure observation;
+    /// the simplification performed is identical either way.
+    pub(crate) fn enable_proof(&mut self) {
+        self.proof = Some(Vec::new());
+    }
+
+    fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.push(DratStep::Add(lits.to_vec()));
+        }
+    }
+
+    fn log_delete(&mut self, lits: Vec<Lit>) {
+        if let Some(p) = self.proof.as_mut() {
+            p.push(DratStep::Delete(lits));
         }
     }
 
@@ -192,7 +220,12 @@ impl VectorSimplifier {
     fn enqueue_unit(&mut self, l: Lit) {
         match self.assigns[l.code()] {
             LBool::True => {}
-            LBool::False => self.unsat = true,
+            LBool::False => {
+                // Both `l` and `¬l` have been derived; the checker reaches
+                // the same conflict by propagating the two logged units.
+                self.unsat = true;
+                self.log_add(&[]);
+            }
             LBool::Undef => {
                 self.assigns[l.code()] = LBool::True;
                 self.assigns[(!l).code()] = LBool::False;
@@ -211,10 +244,16 @@ impl VectorSimplifier {
     /// subsumption source and its variables as elimination candidates.
     fn strengthen_clause(&mut self, idx: usize, l: Lit) {
         self.occ[l.code()].retain(|&c| c != idx);
+        let old = self.proof.is_some().then(|| self.clauses[idx].lits.clone());
         let clause = &mut self.clauses[idx];
         clause.lits.retain(|&x| x != l);
         clause.sig = signature(&clause.lits);
-        match clause.lits.len() {
+        if let Some(old) = old {
+            let new = self.clauses[idx].lits.clone();
+            self.log_add(&new);
+            self.log_delete(old);
+        }
+        match self.clauses[idx].lits.len() {
             0 => {
                 self.unsat = true;
                 self.kill_clause(idx);
@@ -262,6 +301,10 @@ impl VectorSimplifier {
                         let v = self.clauses[ci].lits[i].var();
                         self.touch_var(v);
                     }
+                    if self.proof.is_some() {
+                        let lits = self.clauses[ci].lits.clone();
+                        self.log_delete(lits);
+                    }
                     self.kill_clause(ci);
                 }
             }
@@ -284,10 +327,16 @@ impl VectorSimplifier {
     /// `strengthen_clause` minus the occurrence-list removal of `l` (used
     /// when the caller already took the whole list).
     fn strengthen_clause_no_occ(&mut self, idx: usize, l: Lit) {
+        let old = self.proof.is_some().then(|| self.clauses[idx].lits.clone());
         let clause = &mut self.clauses[idx];
         clause.lits.retain(|&x| x != l);
         clause.sig = signature(&clause.lits);
-        match clause.lits.len() {
+        if let Some(old) = old {
+            let new = self.clauses[idx].lits.clone();
+            self.log_add(&new);
+            self.log_delete(old);
+        }
+        match self.clauses[idx].lits.len() {
             0 => {
                 self.unsat = true;
                 self.kill_clause(idx);
@@ -396,6 +445,10 @@ impl VectorSimplifier {
                                 let v = self.clauses[di].lits[i].var();
                                 self.touch_var(v);
                             }
+                            if self.proof.is_some() {
+                                let lits = self.clauses[di].lits.clone();
+                                self.log_delete(lits);
+                            }
                             self.kill_clause(di);
                         }
                         SubMatch::Strengthens(l) => {
@@ -487,12 +540,25 @@ impl VectorSimplifier {
                 .map(|&ci| self.clauses[ci].lits.clone())
                 .collect(),
         };
+        // Resolvent additions are logged before the parent deletions: the
+        // RUP check of a resolvent needs both parents still present.
+        if self.proof.is_some() {
+            for r in &resolvents {
+                if let Some(p) = self.proof.as_mut() {
+                    p.push(DratStep::Add(r.clone()));
+                }
+            }
+        }
         for &ci in pos.iter().chain(neg.iter()) {
             for i in 0..self.clauses[ci].lits.len() {
                 let w = self.clauses[ci].lits[i].var();
                 if w != v {
                     self.touch_var(w);
                 }
+            }
+            if self.proof.is_some() {
+                let lits = self.clauses[ci].lits.clone();
+                self.log_delete(lits);
             }
             self.kill_clause(ci);
         }
@@ -544,6 +610,7 @@ impl VectorSimplifier {
             elim_stack: self.elim_stack,
             counters: self.counters,
             unsat: self.unsat,
+            proof: self.proof.take().unwrap_or_default(),
         }
     }
 }
@@ -665,6 +732,73 @@ mod tests {
         assert_eq!(out.counters.subsumed_clauses, 0);
         assert_eq!(out.counters.eliminated_vars, 0);
         assert_eq!(out.clauses.len(), 2);
+    }
+
+    #[test]
+    fn proof_logs_subsumption_deletion() {
+        let mut s = simplifier(3, &[1, 2, 3]);
+        s.enable_proof();
+        s.add_clause(vec![lit(1), lit(2)]);
+        s.add_clause(vec![lit(1), lit(2), lit(3)]);
+        let out = s.run();
+        assert_eq!(out.counters.subsumed_clauses, 1);
+        assert_eq!(
+            out.proof,
+            vec![DratStep::Delete(vec![lit(1), lit(2), lit(3)])]
+        );
+    }
+
+    #[test]
+    fn proof_logs_strengthening_add_before_delete() {
+        let mut s = simplifier(3, &[1, 2, 3]);
+        s.enable_proof();
+        s.add_clause(vec![lit(1), lit(2)]);
+        s.add_clause(vec![lit(-1), lit(2), lit(3)]);
+        let out = s.run();
+        assert_eq!(out.counters.strengthened_clauses, 1);
+        assert_eq!(
+            out.proof,
+            vec![
+                DratStep::Add(vec![lit(2), lit(3)]),
+                DratStep::Delete(vec![lit(-1), lit(2), lit(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn proof_logs_resolvent_adds_before_parent_deletes() {
+        // Eliminating x1 from (x1 ∨ x2) and (¬x1 ∨ x3) produces the single
+        // resolvent (x2 ∨ x3); its addition must precede the parent deletes.
+        let mut s = simplifier(3, &[2, 3]);
+        s.enable_proof();
+        s.add_clause(vec![lit(1), lit(2)]);
+        s.add_clause(vec![lit(-1), lit(3)]);
+        let out = s.run();
+        assert_eq!(out.counters.eliminated_vars, 1);
+        let add_pos = out
+            .proof
+            .iter()
+            .position(|st| *st == DratStep::Add(vec![lit(2), lit(3)]))
+            .expect("resolvent addition must be logged");
+        let del_pos = out
+            .proof
+            .iter()
+            .position(|st| st.is_delete())
+            .expect("parent deletions must be logged");
+        assert!(
+            add_pos < del_pos,
+            "resolvent add must precede parent deletes"
+        );
+    }
+
+    #[test]
+    fn proof_is_empty_when_logging_is_disabled() {
+        let mut s = simplifier(3, &[1, 2, 3]);
+        s.add_clause(vec![lit(1), lit(2)]);
+        s.add_clause(vec![lit(1), lit(2), lit(3)]);
+        let out = s.run();
+        assert_eq!(out.counters.subsumed_clauses, 1);
+        assert!(out.proof.is_empty());
     }
 
     #[test]

@@ -4,9 +4,10 @@ use crate::clause_db::{ClauseDb, ClauseRef};
 use crate::heap::VarOrderHeap;
 use crate::lbool::LBool;
 use crate::luby::luby;
+use crate::proof::ProofLogger;
 use crate::simplify::{ElimRecord, VectorSimplifier};
 use crate::{Budget, InterruptFlag, SolverConfig, SolverStats, StopReason};
-use pdsat_cnf::{Assignment, Cnf, Lit, Var};
+use pdsat_cnf::{Assignment, Cnf, DratProof, DratStep, Lit, Var};
 use std::time::Instant;
 
 /// Result of a solve call.
@@ -171,6 +172,15 @@ pub struct Solver {
     /// Elimination records in elimination order; [`Solver::extract_model`]
     /// walks it in reverse to assign eliminated variables.
     elim_stack: Vec<ElimRecord>,
+    /// DRAT derivation log, `None` unless [`SolverConfig::proof`] is set. The
+    /// stream is persistent across solve calls: every logged addition is a
+    /// consequence of the clause database alone (assumptions enter the search
+    /// only as decisions), so one incremental solver serves per-cube UNSAT
+    /// certificates by cloning the stream (see [`Solver::unsat_certificate`]).
+    proof: Option<ProofLogger>,
+    /// Whether the most recent solve call answered [`Verdict::Unsat`]
+    /// (including assumption-scoped UNSAT, which does not clear `ok`).
+    last_solve_unsat: bool,
     stats: SolverStats,
     max_learnts: f64,
 }
@@ -203,6 +213,7 @@ impl Solver {
     /// Creates an empty solver with a custom configuration.
     #[must_use]
     pub fn with_config(config: SolverConfig) -> Solver {
+        let proof = config.proof.then(ProofLogger::new);
         Solver {
             config,
             db: ClauseDb::new(),
@@ -230,6 +241,8 @@ impl Solver {
             frozen: Vec::new(),
             eliminated: Vec::new(),
             elim_stack: Vec::new(),
+            proof,
+            last_solve_unsat: false,
             stats: SolverStats::default(),
             max_learnts: 0.0,
         }
@@ -281,6 +294,46 @@ impl Solver {
     #[must_use]
     pub fn config(&self) -> &SolverConfig {
         &self.config
+    }
+
+    /// The DRAT steps logged so far, in derivation order, or `None` when
+    /// [`SolverConfig::proof`] is off. The stream is shared by every solve
+    /// call on this instance; see [`Solver::unsat_certificate`] for turning
+    /// it into a standalone certificate.
+    #[must_use]
+    pub fn proof_steps(&self) -> Option<&[DratStep]> {
+        self.proof.as_ref().map(ProofLogger::steps)
+    }
+
+    /// Discards the DRAT stream recorded so far (a no-op with proof logging
+    /// off). Clauses learnt before the cut keep *using* their derivations
+    /// without the stream recording them, so certificates extracted after a
+    /// clear are not checkable — this is for long-lived solvers that want to
+    /// bound proof memory between certificate-free phases, and for
+    /// measurement loops.
+    pub fn clear_proof(&mut self) {
+        if let Some(log) = self.proof.as_mut() {
+            log.clear();
+        }
+        self.last_solve_unsat = false;
+    }
+
+    /// A DRAT certificate for the most recent UNSAT answer, or `None` when
+    /// proof logging is off or the last answer was not UNSAT.
+    ///
+    /// The certificate refutes *formula ∧ assumptions* for the assumptions of
+    /// the most recent solve call: a checker must seed those assumption
+    /// literals as root-level units before replaying the steps (see
+    /// `pdsat_checker::check_unsat_proof`). For a root-level UNSAT
+    /// (`!self.is_ok()`) the assumption list is irrelevant and may be empty.
+    #[must_use]
+    pub fn unsat_certificate(&self) -> Option<DratProof> {
+        let log = self.proof.as_ref()?;
+        if !self.ok || self.last_solve_unsat {
+            Some(log.certificate(true))
+        } else {
+            None
+        }
     }
 
     /// Protects a variable from elimination by [`Solver::simplify`].
@@ -437,12 +490,23 @@ impl Solver {
         }
         match lits.len() {
             0 => {
+                // Every literal of the input clause is false under the root
+                // assignment; a checker re-derives the conflict by unit
+                // propagation over the loaded formula.
                 self.ok = false;
+                if let Some(p) = self.proof.as_mut() {
+                    p.add_empty();
+                }
                 false
             }
             1 => {
                 self.unchecked_enqueue(lits[0], None);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add_empty();
+                    }
+                }
                 self.ok
             }
             _ => {
@@ -476,23 +540,39 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            if let Some(p) = self.proof.as_mut() {
+                p.add_empty();
+            }
             return false;
         }
         // Snapshot the problem clauses, cleaned against the root assignment.
         // At a propagation fixpoint a clause is either satisfied (skipped) or
         // has ≥ 2 unassigned literals, so the snapshot never contains units.
+        // With proof logging on, a satisfied clause is logged as a deletion
+        // and a cleaned one as Add(cleaned) before Delete(original) — the
+        // cleaned clause is RUP via the original while it is still present.
         let mut problem: Vec<Vec<Lit>> = Vec::with_capacity(self.original.len());
         for i in 0..self.original.len() {
             let lits = self.db.lits_vec(self.original[i]);
             if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
                 continue;
             }
-            let lits: Vec<Lit> = lits
-                .into_iter()
+            let filtered: Vec<Lit> = lits
+                .iter()
+                .copied()
                 .filter(|&l| self.lit_value(l) != LBool::False)
                 .collect();
-            debug_assert!(lits.len() >= 2);
-            problem.push(lits);
+            if filtered.len() != lits.len() {
+                if let Some(p) = self.proof.as_mut() {
+                    p.add(&filtered);
+                    p.delete(lits);
+                }
+            }
+            debug_assert!(filtered.len() >= 2);
+            problem.push(filtered);
         }
         // Learnt clauses sit out the elimination (they are consequences, not
         // definitions) and are reinstated afterwards, re-cleaned against the
@@ -502,13 +582,23 @@ impl Solver {
             let cref = self.learnts[i];
             let lits = self.db.lits_vec(cref);
             if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
                 continue;
             }
-            let lits: Vec<Lit> = lits
-                .into_iter()
+            let filtered: Vec<Lit> = lits
+                .iter()
+                .copied()
                 .filter(|&l| self.lit_value(l) != LBool::False)
                 .collect();
-            learnt_snapshot.push((lits, self.db.lbd(cref), self.db.activity(cref)));
+            if filtered.len() != lits.len() {
+                if let Some(p) = self.proof.as_mut() {
+                    p.add(&filtered);
+                    p.delete(lits);
+                }
+            }
+            learnt_snapshot.push((filtered, self.db.lbd(cref), self.db.activity(cref)));
         }
 
         let mut engine = VectorSimplifier::new(
@@ -517,10 +607,16 @@ impl Solver {
             self.config.elim_grow_limit,
             self.config.subsumption_limit,
         );
+        if self.proof.is_some() {
+            engine.enable_proof();
+        }
         for lits in problem {
             engine.add_clause(lits);
         }
-        let outcome = engine.run();
+        let mut outcome = engine.run();
+        if let Some(p) = self.proof.as_mut() {
+            p.extend(std::mem::take(&mut outcome.proof));
+        }
         self.stats.eliminated_vars += outcome.counters.eliminated_vars;
         self.stats.subsumed_clauses += outcome.counters.subsumed_clauses;
         self.stats.strengthened_clauses += outcome.counters.strengthened_clauses;
@@ -530,6 +626,11 @@ impl Solver {
         self.elim_stack.extend(outcome.elim_stack);
         if outcome.unsat {
             self.ok = false;
+            if let Some(p) = self.proof.as_mut() {
+                if !p.ends_in_empty_clause() {
+                    p.add_empty();
+                }
+            }
             return false;
         }
 
@@ -560,6 +661,9 @@ impl Solver {
                 LBool::True => {}
                 LBool::False => {
                     self.ok = false;
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add_empty();
+                    }
                     return false;
                 }
                 LBool::Undef => self.unchecked_enqueue(u, None),
@@ -567,6 +671,9 @@ impl Solver {
         }
         for (lits, lbd, activity) in learnt_snapshot {
             if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
                 continue;
             }
             if lits.iter().any(|&l| self.eliminated[l.var().index()]) {
@@ -574,20 +681,30 @@ impl Solver {
                 // eliminated variable no longer carries watches or order-heap
                 // presence; dropping is simpler and the clause is re-learnable.
                 self.stats.removed_clauses += 1;
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
                 continue;
             }
-            let lits: Vec<Lit> = lits
-                .into_iter()
+            let filtered: Vec<Lit> = lits
+                .iter()
+                .copied()
                 .filter(|&l| self.lit_value(l) != LBool::False)
                 .collect();
-            match lits.len() {
+            if filtered.len() != lits.len() {
+                if let Some(p) = self.proof.as_mut() {
+                    p.add(&filtered);
+                    p.delete(lits);
+                }
+            }
+            match filtered.len() {
                 0 => {
                     self.ok = false;
                     return false;
                 }
-                1 => self.unchecked_enqueue(lits[0], None),
+                1 => self.unchecked_enqueue(filtered[0], None),
                 _ => {
-                    let cref = self.db.add(&lits, true, lbd.min(lits.len() as u32));
+                    let cref = self.db.add(&filtered, true, lbd.min(filtered.len() as u32));
                     self.db.set_activity(cref, activity);
                     self.learnts.push(cref);
                     self.attach_clause(cref);
@@ -596,6 +713,9 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            if let Some(p) = self.proof.as_mut() {
+                p.add_empty();
+            }
             return false;
         }
         self.clear_root_reasons();
@@ -688,6 +808,9 @@ impl Solver {
             self.cancel_until(0);
             if satisfied_at_root {
                 self.db.mark_deleted(cref);
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
                 continue;
             }
             if !implied && kept.len() == lits.len() {
@@ -696,20 +819,37 @@ impl Solver {
             }
             self.stats.vivified_lits += (lits.len() - kept.len()) as u64;
             self.db.mark_deleted(cref);
+            // Add(kept) before Delete(lits): the shortened clause is RUP via
+            // the original one (and the clauses the probes propagated over),
+            // which must still be present when the checker reaches the add.
             match kept.len() {
                 0 => {
                     self.ok = false;
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add_empty();
+                    }
                     break;
                 }
                 1 => {
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add(&kept);
+                        p.delete(lits);
+                    }
                     self.unchecked_enqueue(kept[0], None);
                     if self.propagate().is_some() {
                         self.ok = false;
+                        if let Some(p) = self.proof.as_mut() {
+                            p.add_empty();
+                        }
                         break;
                     }
                     self.clear_root_reasons();
                 }
                 _ => {
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add(&kept);
+                        p.delete(lits);
+                    }
                     let ncref = self.db.add(&kept, learnt, lbd.min(kept.len() as u32));
                     if learnt {
                         self.db.set_activity(ncref, activity);
@@ -761,14 +901,16 @@ impl Solver {
         // Clock reads are skipped entirely for untimed micro-solves (see
         // `SolverConfig::time_accounting`); a wall-clock deadline forces
         // them back on.
-        if self.config.time_accounting || budget.max_wall_time.is_some() {
+        let verdict = if self.config.time_accounting || budget.max_wall_time.is_some() {
             let start = Instant::now();
             let verdict = self.solve_inner(assumptions, budget, interrupt, Some(start));
             self.stats.solve_time += start.elapsed();
             verdict
         } else {
             self.solve_inner(assumptions, budget, interrupt, None)
-        }
+        };
+        self.last_solve_unsat = verdict.is_unsat();
+        verdict
     }
 
     fn solve_inner(
@@ -865,10 +1007,18 @@ impl Solver {
                 conflicts_this_round += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    if let Some(p) = self.proof.as_mut() {
+                        p.add_empty();
+                    }
                     return SearchStatus::Unsat;
                 }
                 let (backtrack_level, lbd) = self.analyze(confl);
                 self.cancel_until(backtrack_level);
+                // First-UIP learnt clauses (minimization included) are RUP
+                // against the clause database at learning time.
+                if let Some(p) = self.proof.as_mut() {
+                    p.add(&self.learnt_buf);
+                }
                 if self.learnt_buf.len() == 1 {
                     self.unchecked_enqueue(self.learnt_buf[0], None);
                 } else {
@@ -1439,6 +1589,12 @@ impl Solver {
         let to_remove = candidates.len() / 2;
         for &cref in candidates.iter().take(to_remove) {
             self.detach_clause(cref);
+            if self.proof.is_some() {
+                let lits = self.db.lits_vec(cref);
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(lits);
+                }
+            }
             self.db.mark_deleted(cref);
             self.stats.removed_clauses += 1;
         }
@@ -1992,6 +2148,95 @@ mod tests {
             "the redundant literal must be vivified away"
         );
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn proof_logging_is_off_by_default() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        assert!(!s.add_clause([lit(-1)]));
+        assert!(s.proof_steps().is_none());
+        assert!(s.unsat_certificate().is_none());
+    }
+
+    fn proof_solver() -> Solver {
+        Solver::with_config(SolverConfig {
+            proof: true,
+            ..SolverConfig::default()
+        })
+    }
+
+    #[test]
+    fn root_unsat_certificate_ends_in_empty_clause() {
+        let var = |i: usize, j: usize| Lit::positive(Var::new((i * 2 + j) as u32));
+        let mut s = proof_solver();
+        for i in 0..3 {
+            s.add_clause([var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        assert!(s.unsat_certificate().is_none(), "no UNSAT answer yet");
+        assert_eq!(s.solve(), Verdict::Unsat);
+        let cert = s.unsat_certificate().expect("root UNSAT must certify");
+        assert!(!cert.is_empty());
+        assert_eq!(cert.steps.last(), Some(&DratStep::Add(Vec::new())));
+        assert!(
+            cert.steps
+                .iter()
+                .any(|st| matches!(st, DratStep::Add(lits) if !lits.is_empty())),
+            "conflict analysis must have logged learnt clauses"
+        );
+    }
+
+    #[test]
+    fn assumption_unsat_certificate_is_closed_per_call() {
+        let mut s = proof_solver();
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(2)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(-2)]), Verdict::Unsat);
+        assert!(s.is_ok());
+        let cert = s
+            .unsat_certificate()
+            .expect("assumption UNSAT must certify");
+        assert_eq!(cert.steps.last(), Some(&DratStep::Add(Vec::new())));
+        // A later SAT answer withdraws the certificate; the shared stream
+        // stays open (no empty clause was spliced into it).
+        assert!(s.solve_with_assumptions(&[lit(2)]).is_sat());
+        assert!(s.unsat_certificate().is_none());
+        assert!(s
+            .proof_steps()
+            .unwrap()
+            .iter()
+            .all(|st| *st != DratStep::Add(Vec::new())));
+    }
+
+    #[test]
+    fn proof_off_and_on_reach_identical_search_statistics() {
+        let text = "p cnf 8 12\n1 2 3 0\n-1 -2 0\n-2 -3 0\n-1 -3 0\n4 5 6 0\n-4 -5 0\n-5 -6 0\n-4 -6 0\n7 8 0\n-7 -8 0\n1 7 0\n4 8 0\n";
+        let cnf = dimacs::parse_str(text).unwrap();
+        let run = |proof: bool| {
+            let mut s = Solver::from_cnf_with_config(
+                &cnf,
+                SolverConfig {
+                    proof,
+                    time_accounting: false,
+                    ..SolverConfig::default()
+                },
+            );
+            let v = s.solve();
+            (v.is_sat(), *s.stats())
+        };
+        let (sat_off, stats_off) = run(false);
+        let (sat_on, stats_on) = run(true);
+        assert_eq!(sat_off, sat_on);
+        assert_eq!(stats_off.conflicts, stats_on.conflicts);
+        assert_eq!(stats_off.decisions, stats_on.decisions);
+        assert_eq!(stats_off.propagations, stats_on.propagations);
     }
 
     #[test]

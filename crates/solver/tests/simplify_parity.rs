@@ -4,11 +4,28 @@
 //! the *original* clauses, frozen variables survive untouched, and whole
 //! assumption families (the decomposition workload) keep their per-cube
 //! verdicts.
+//!
+//! The suite runs with proof logging on: every UNSAT verdict must come with
+//! a DRAT certificate that the independent checker accepts against the
+//! *original* formula — including certificates whose derivations run through
+//! elimination, subsumption and vivification emissions.
 
 use pdsat_cnf::{Cnf, Cube, Lit, Var};
 use pdsat_solver::{Solver, SolverConfig, Verdict};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
+
+/// The differential proof hook: an UNSAT verdict from a proof-logging solver
+/// must yield a certificate the checker accepts against the original formula
+/// with the solve's assumptions seeded as roots.
+fn assert_certified_unsat(cnf: &Cnf, assumptions: &[Lit], solver: &Solver) {
+    let cert = solver
+        .unsat_certificate()
+        .expect("proof logging is on, the verdict was UNSAT");
+    if let Err(failure) = pdsat_checker::check_unsat_proof(cnf, assumptions, &cert) {
+        panic!("checker rejected the solver's certificate: {failure}");
+    }
+}
 
 /// Generates a random k-SAT formula with `n` variables and `m` clauses.
 fn random_cnf(seed: u64, n: usize, m: usize, k: usize) -> Cnf {
@@ -27,6 +44,7 @@ fn random_cnf(seed: u64, n: usize, m: usize, k: usize) -> Cnf {
 fn simplify_config() -> SolverConfig {
     SolverConfig {
         simplify: true,
+        proof: true,
         ..SolverConfig::default()
     }
 }
@@ -66,7 +84,10 @@ proptest! {
                     "extended model must satisfy the original formula"
                 );
             }
-            Verdict::Unsat => prop_assert!(!baseline, "simplified UNSAT but baseline SAT"),
+            Verdict::Unsat => {
+                prop_assert!(!baseline, "simplified UNSAT but baseline SAT");
+                assert_certified_unsat(&cnf, &[], &simplified);
+            }
             Verdict::Unknown(r) => prop_assert!(false, "unlimited solve returned Unknown: {r}"),
         }
     }
@@ -102,6 +123,9 @@ proptest! {
                 "cube {} verdict changed under simplification",
                 idx
             );
+            if !got.is_sat() {
+                assert_certified_unsat(&cnf, &assumptions, &simplified);
+            }
             if let Verdict::Sat(model) = got {
                 for &lit in Cube::from_bits(&set, idx).lits() {
                     prop_assert_eq!(model.lit_value(lit).to_bool(), Some(true));
@@ -160,7 +184,10 @@ proptest! {
                 prop_assert!(baseline);
                 prop_assert!(cnf.is_satisfied_by(&model));
             }
-            Verdict::Unsat => prop_assert!(!baseline),
+            Verdict::Unsat => {
+                prop_assert!(!baseline);
+                assert_certified_unsat(&cnf, &[], &solver);
+            }
             Verdict::Unknown(r) => prop_assert!(false, "unlimited solve returned Unknown: {r}"),
         }
     }

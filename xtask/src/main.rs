@@ -1,0 +1,246 @@
+//! Repository lint tasks, run in CI as `cargo run -p xtask -- lint`.
+//!
+//! Three checks, all over the source tree as text (no compiler plumbing):
+//!
+//! 1. **unsafe-free**: every crate root (`lib.rs` / `main.rs`) must carry
+//!    `#![forbid(unsafe_code)]`.
+//! 2. **clock discipline**: `Instant::now` / `SystemTime` may appear only in
+//!    files listed in `xtask/time_allowlist.txt` — per-cube costs feed the
+//!    Monte Carlo estimator, so clock reads stay confined to modules gated
+//!    behind `SolverConfig::time_accounting` or explicitly wall-clock-facing
+//!    code.
+//! 3. **knob documentation**: every public field of `SolverConfig` and
+//!    `BatchConfig` must be named (in backticks) in DESIGN.md, so the
+//!    configuration surface and its documentation cannot drift apart.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Repository root: xtask always runs from the workspace (CARGO_MANIFEST_DIR
+/// is `<root>/xtask`).
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest)
+        .parent()
+        .expect("xtask sits one level below the repository root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut errors: Vec<String> = Vec::new();
+
+    check_forbid_unsafe(&root, &mut errors);
+    check_clock_discipline(&root, &mut errors);
+    check_knob_docs(&root, &mut errors);
+
+    if errors.is_empty() {
+        println!("xtask lint: ok");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("xtask lint: {e}");
+        }
+        eprintln!("xtask lint: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// All `.rs` files under the given directory, recursively, sorted.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') || name == "vendor" {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Crate roots: `src/lib.rs` or `src/main.rs` of every workspace member.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let mut candidates = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            candidates.push(d.join("src"));
+        }
+    }
+    candidates.push(root.join("xtask").join("src"));
+    for src in candidates {
+        for name in ["lib.rs", "main.rs"] {
+            let p = src.join(name);
+            if p.is_file() {
+                roots.push(p);
+            }
+        }
+    }
+    roots
+}
+
+fn check_forbid_unsafe(root: &Path, errors: &mut Vec<String>) {
+    for path in crate_roots(root) {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                errors.push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        if !text.contains("#![forbid(unsafe_code)]") {
+            errors.push(format!(
+                "{}: crate root is missing #![forbid(unsafe_code)]",
+                rel(root, &path)
+            ));
+        }
+    }
+}
+
+fn check_clock_discipline(root: &Path, errors: &mut Vec<String>) {
+    let allowlist_path = root.join("xtask").join("time_allowlist.txt");
+    let allowlist: Vec<String> = match std::fs::read_to_string(&allowlist_path) {
+        Ok(t) => t
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect(),
+        Err(e) => {
+            errors.push(format!("{}: unreadable: {e}", allowlist_path.display()));
+            return;
+        }
+    };
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    rust_files(&root.join("src"), &mut files);
+    for path in files {
+        let relpath = rel(root, &path);
+        if allowlist.contains(&relpath) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for (i, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            if code.contains("Instant::now") || code.contains("SystemTime") {
+                errors.push(format!(
+                    "{relpath}:{}: clock read outside xtask/time_allowlist.txt \
+                     (wall-clock reads must stay behind time_accounting gates)",
+                    i + 1
+                ));
+            }
+        }
+    }
+    // Stale allowlist entries are errors too: the list must shrink when the
+    // code stops reading clocks, or it silently rots.
+    for entry in &allowlist {
+        let path = root.join(entry);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            errors.push(format!("time_allowlist.txt: {entry}: file does not exist"));
+            continue;
+        };
+        let used = text.lines().any(|line| {
+            let code = line.split("//").next().unwrap_or(line);
+            code.contains("Instant::now") || code.contains("SystemTime")
+        });
+        if !used {
+            errors.push(format!(
+                "time_allowlist.txt: {entry}: no clock reads left; remove the entry"
+            ));
+        }
+    }
+}
+
+/// Public field names of a `pub struct <name>` block in the given file.
+fn pub_fields(path: &Path, struct_name: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let header = format!("pub struct {struct_name} {{");
+    let start = text
+        .find(&header)
+        .ok_or_else(|| format!("{}: `{header}` not found", path.display()))?;
+    let body = &text[start + header.len()..];
+    let end = body
+        .find("\n}")
+        .ok_or_else(|| format!("{}: unterminated struct {struct_name}", path.display()))?;
+    let mut fields = Vec::new();
+    for line in body[..end].lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("pub ") {
+            if let Some(colon) = rest.find(':') {
+                let name = rest[..colon].trim();
+                if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
+                    fields.push(name.to_string());
+                }
+            }
+        }
+    }
+    if fields.is_empty() {
+        return Err(format!(
+            "{}: no public fields parsed for {struct_name}",
+            path.display()
+        ));
+    }
+    Ok(fields)
+}
+
+fn check_knob_docs(root: &Path, errors: &mut Vec<String>) {
+    let design = match std::fs::read_to_string(root.join("DESIGN.md")) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("DESIGN.md: unreadable: {e}"));
+            return;
+        }
+    };
+    let sources = [
+        (root.join("crates/solver/src/config.rs"), "SolverConfig"),
+        (root.join("crates/pdsat-core/src/oracle.rs"), "BatchConfig"),
+    ];
+    for (path, struct_name) in sources {
+        match pub_fields(&path, struct_name) {
+            Ok(fields) => {
+                for f in fields {
+                    let needle = format!("`{f}`");
+                    if !design.contains(&needle) {
+                        errors.push(format!(
+                            "DESIGN.md: {struct_name} knob `{f}` is undocumented \
+                             (add it to the configuration-knob table)"
+                        ));
+                    }
+                }
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
