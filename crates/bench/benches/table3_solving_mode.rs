@@ -178,6 +178,41 @@ fn bench_solving_mode(c: &mut Criterion) {
         );
     }
 
+    // The clause-sharing head-to-head on a 4-worker pool: identical family,
+    // `SolveModeConfig::clause_sharing` toggled. The `off` rows are gated at
+    // ≤ 10 % regression vs the committed baseline (sharing off must stay
+    // free), and `on` is gated against `off` head-to-head so the exchange
+    // overhead stays bounded on single-core runners; the speedup gate
+    // tightens once multi-core hardware runs the suite.
+    for (cipher, instance, set) in [
+        ("bivium", &bivium, &bivium_set),
+        ("grain", &grain, &grain_set),
+    ] {
+        for sharing in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{cipher}_family_1024_cubes_sharing"),
+                    if sharing { "on" } else { "off" },
+                ),
+                &sharing,
+                |b, &sharing| {
+                    let config = SolveModeConfig {
+                        cost: CostMetric::Conflicts,
+                        num_workers: 4,
+                        clause_sharing: sharing,
+                        ..SolveModeConfig::default()
+                    };
+                    let mut solver = FamilySolver::new(instance.cnf(), &config);
+                    b.iter(|| {
+                        let report = solver.solve_family(set, None);
+                        assert!(report.sat_count >= 1);
+                        report.total_cost
+                    });
+                },
+            );
+        }
+    }
+
     group.finish();
 }
 

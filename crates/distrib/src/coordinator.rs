@@ -206,7 +206,7 @@ impl CoordinatorCheckpoint {
         ));
         for (id, r) in &self.completed {
             out.push_str(&format!(
-                "unit {} {} {:016x} {} {} {} {} {} {} {} {} {}\n",
+                "unit {} {} {:016x} {} {} {} {} {} {} {} {} {} {} {} {}\n",
                 id,
                 r.cubes_processed,
                 r.total_cost.to_bits(),
@@ -215,6 +215,9 @@ impl CoordinatorCheckpoint {
                 r.wall_time.as_nanos(),
                 r.reused_assumptions,
                 r.saved_propagations,
+                r.exported_clauses,
+                r.imported_clauses,
+                r.import_dropped,
                 encode_opt_usize(r.first_sat_index),
                 encode_opt_bits(r.cost_to_first_sat),
                 encode_model(r.model.as_ref()),
@@ -272,8 +275,8 @@ impl CoordinatorCheckpoint {
                 .strip_prefix("unit ")
                 .ok_or_else(|| format!("expected 'unit …', got '{line}'"))?;
             let fields: Vec<&str> = rest.split_whitespace().collect();
-            if fields.len() != 12 {
-                return Err(format!("expected 12 unit fields in '{line}'"));
+            if fields.len() != 15 {
+                return Err(format!("expected 15 unit fields in '{line}'"));
             }
             let parse_usize = |f: &str| -> Result<usize, String> {
                 f.parse()
@@ -302,21 +305,24 @@ impl CoordinatorCheckpoint {
             );
             report.reused_assumptions = parse_u64(fields[6])?;
             report.saved_propagations = parse_u64(fields[7])?;
-            report.first_sat_index = if fields[8] == "-" {
+            report.exported_clauses = parse_u64(fields[8])?;
+            report.imported_clauses = parse_u64(fields[9])?;
+            report.import_dropped = parse_u64(fields[10])?;
+            report.first_sat_index = if fields[11] == "-" {
                 None
             } else {
-                Some(parse_usize(fields[8])?)
+                Some(parse_usize(fields[11])?)
             };
-            report.cost_to_first_sat = if fields[9] == "-" {
+            report.cost_to_first_sat = if fields[12] == "-" {
                 None
             } else {
-                Some(decode_bits(fields[9], line)?)
+                Some(decode_bits(fields[12], line)?)
             };
-            report.model = if fields[10] == "-" {
+            report.model = if fields[13] == "-" {
                 None
             } else {
-                let mut model = Assignment::new(fields[10].len());
-                for (i, c) in fields[10].chars().enumerate() {
+                let mut model = Assignment::new(fields[13].len());
+                for (i, c) in fields[13].chars().enumerate() {
                     match c {
                         '1' => model.assign(Var::new(i as u32), true),
                         '0' => model.assign(Var::new(i as u32), false),
@@ -326,10 +332,10 @@ impl CoordinatorCheckpoint {
                 }
                 Some(model)
             };
-            report.per_cube_costs = if fields[11] == "-" {
+            report.per_cube_costs = if fields[14] == "-" {
                 Vec::new()
             } else {
-                fields[11]
+                fields[14]
                     .split(',')
                     .map(|f| decode_bits(f, line))
                     .collect::<Result<_, _>>()?
@@ -514,7 +520,7 @@ impl Coordinator {
                             // Idempotent aggregation: the first counted
                             // result pins the unit's canonical report;
                             // replicas never overwrite it.
-                            self.checkpoint.completed.entry(unit).or_insert(report);
+                            self.checkpoint.completed.entry(unit).or_insert(*report);
                             if quorum_reached {
                                 self.stats.makespan = self.stats.makespan.max(now);
                             }
@@ -713,19 +719,25 @@ mod tests {
         assert_eq!(restored.to_text(), text);
         assert_eq!(&restored, coordinator.checkpoint());
 
-        // A model with assigned and unassigned variables survives the codec.
+        // A model with assigned and unassigned variables survives the codec,
+        // and so do the clause-sharing counters.
         let mut with_model = coordinator.checkpoint().clone();
         let mut model = Assignment::new(5);
         model.assign(Var::new(0), true);
         model.assign(Var::new(3), false);
-        with_model
-            .completed
-            .get_mut(&0)
-            .expect("unit 0 completed")
-            .model = Some(model.clone());
+        {
+            let unit = with_model.completed.get_mut(&0).expect("unit 0 completed");
+            unit.model = Some(model.clone());
+            unit.exported_clauses = 17;
+            unit.imported_clauses = 5;
+            unit.import_dropped = 2;
+        }
         let restored =
             CoordinatorCheckpoint::from_text(&with_model.to_text()).expect("model round-trip");
         assert_eq!(restored.completed[&0].model.as_ref(), Some(&model));
+        assert_eq!(restored.completed[&0].exported_clauses, 17);
+        assert_eq!(restored.completed[&0].imported_clauses, 5);
+        assert_eq!(restored.completed[&0].import_dropped, 2);
 
         // Malformed inputs are rejected, not mis-parsed.
         assert!(CoordinatorCheckpoint::from_text("").is_err());
@@ -735,7 +747,7 @@ mod tests {
         )
         .is_err());
         assert!(CoordinatorCheckpoint::from_text(
-            "pdsat-coordinator-checkpoint v1\nfamily set_size=1 total_cubes=4 work_unit_size=2\nunit 7 2 0 0 0 0 0 0 - - - -\n"
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=1 total_cubes=4 work_unit_size=2\nunit 7 2 0 0 0 0 0 0 0 0 0 - - - -\n"
         )
         .is_err());
     }
@@ -814,19 +826,19 @@ mod tests {
             ClientMsg::SubmitResult {
                 client: 0,
                 unit: 0,
-                report: forged,
+                report: Box::new(forged),
                 checksum_ok: true, // the upload itself is intact
             },
             ClientMsg::SubmitResult {
                 client: 1,
                 unit: 0,
-                report: modeless,
+                report: Box::new(modeless),
                 checksum_ok: true,
             },
             ClientMsg::SubmitResult {
                 client: 2,
                 unit: 0,
-                report: honest,
+                report: Box::new(honest),
                 checksum_ok: true,
             },
         ]);
@@ -897,19 +909,19 @@ mod tests {
             ClientMsg::SubmitResult {
                 client: 0,
                 unit: 0,
-                report: unit0,
+                report: Box::new(unit0),
                 checksum_ok: true,
             },
             ClientMsg::SubmitResult {
                 client: 1,
                 unit: 1,
-                report: tampered,
+                report: Box::new(tampered),
                 checksum_ok: true,
             },
             ClientMsg::SubmitResult {
                 client: 2,
                 unit: 1,
-                report: unit1,
+                report: Box::new(unit1),
                 checksum_ok: true,
             },
         ]);

@@ -58,8 +58,9 @@ pub enum ClientMsg {
         client: ClientId,
         /// The unit the result belongs to.
         unit: WorkUnitId,
-        /// The per-unit solve report.
-        report: SolveReport,
+        /// The per-unit solve report (boxed: the report dwarfs the
+        /// other message payloads).
+        report: Box<SolveReport>,
         /// Whether the result passed the transport-level integrity check
         /// (`false` models a corrupted upload; the coordinator discards it
         /// and waits for a replacement).
@@ -353,7 +354,7 @@ impl<F: FnMut(&WorkUnit) -> SolveReport> Transport for LoopbackTransport<F> {
                             ClientMsg::SubmitResult {
                                 client: to,
                                 unit: unit.id,
-                                report: report.clone(),
+                                report: Box::new(report.clone()),
                                 checksum_ok: valid,
                             },
                         );
@@ -364,7 +365,7 @@ impl<F: FnMut(&WorkUnit) -> SolveReport> Transport for LoopbackTransport<F> {
                                 ClientMsg::SubmitResult {
                                     client: to,
                                     unit: unit.id,
-                                    report,
+                                    report: Box::new(report),
                                     checksum_ok: valid,
                                 },
                             );

@@ -47,4 +47,20 @@ fn main() {
         "Trail reuse while solving the families: {reused} assumption levels reused, \
          {saved} replay propagations skipped"
     );
+    let (exported, imported, dropped) =
+        result
+            .rows
+            .iter()
+            .flat_map(|r| &r.instances)
+            .fold((0u64, 0u64, 0u64), |(e, i, d), m| {
+                (
+                    e + m.exported_clauses,
+                    i + m.imported_clauses,
+                    d + m.import_dropped,
+                )
+            });
+    println!(
+        "Clause sharing while solving the families: {exported} learnt clauses exported, \
+         {imported} imported, {dropped} dropped"
+    );
 }

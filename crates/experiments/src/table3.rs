@@ -41,6 +41,14 @@ pub struct InstanceMeasurement {
     /// Assumption/propagation replays the trail reuse skipped over the
     /// whole family.
     pub saved_propagations: u64,
+    /// Learnt clauses the pool workers exported to the cooperative
+    /// clause-sharing channel while processing the family (zero unless
+    /// `SolveModeConfig::clause_sharing` ran on a real pool).
+    pub exported_clauses: u64,
+    /// Foreign clauses imported from the channel and attached.
+    pub imported_clauses: u64,
+    /// Shared clauses lost to full rings or rejected at import.
+    pub import_dropped: u64,
 }
 
 /// One row of Table 3 (one weakened problem, three instances).
@@ -211,6 +219,9 @@ pub fn run_table3(
                 finding_sat_cores: cluster_report.first_sat_finish,
                 reused_assumptions: report.reused_assumptions,
                 saved_propagations: report.saved_propagations,
+                exported_clauses: report.exported_clauses,
+                imported_clauses: report.imported_clauses,
+                import_dropped: report.import_dropped,
             });
         }
         let mean_deviation_percent = if deviations.is_empty() {

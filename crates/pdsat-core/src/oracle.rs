@@ -24,9 +24,11 @@
 mod backend;
 mod cache;
 mod pool;
+mod share;
 
 pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBackend};
 pub use cache::PointCache;
+use share::ClauseExchange;
 
 use crate::CostMetric;
 use pdsat_cnf::{Assignment, Cnf, Cube, DratProof, Var};
@@ -191,6 +193,22 @@ pub struct BatchConfig {
     /// that a single worker solves a *prefix* of the batch in submission
     /// order).
     pub prefix_schedule: bool,
+    /// Cooperative clause sharing between pool workers (default `false`).
+    /// When enabled on a real pool (effective workers ≥ 2) with the warm
+    /// backend, each worker exports its glue learnt clauses
+    /// (`SolverConfig::share_lbd_max`) into a bounded per-worker ring and
+    /// imports the other workers' exports at `begin_batch` and restart
+    /// boundaries. Verdicts and model validity are unaffected (shared
+    /// clauses are consequences of the common formula), but per-cube costs
+    /// become schedule-dependent, so every bit-identical parity guarantee
+    /// requires the default `false`. Ignored by the sequential executor and
+    /// the fresh backend (see DESIGN.md, "Cooperative clause sharing").
+    pub clause_sharing: bool,
+    /// Capacity of each worker's export ring when
+    /// [`clause_sharing`](BatchConfig::clause_sharing) is on; a full ring
+    /// evicts its oldest clause and counts the loss in
+    /// `SolverStats::import_dropped`.
+    pub share_ring_capacity: usize,
 }
 
 impl Default for BatchConfig {
@@ -207,6 +225,8 @@ impl Default for BatchConfig {
             frozen_vars: Vec::new(),
             point_cache_capacity: 65_536,
             prefix_schedule: true,
+            clause_sharing: false,
+            share_ring_capacity: 4096,
         }
     }
 }
@@ -329,6 +349,11 @@ pub struct CubeOracle {
     cnf: Arc<Cnf>,
     config: BatchConfig,
     exec: Executor,
+    /// The pool's clause exchange, `Some` only when
+    /// [`BatchConfig::clause_sharing`] runs on a real pool of warm backends;
+    /// kept here so per-batch ring evictions can be folded into the batch
+    /// statistics.
+    share: Option<Arc<ClauseExchange>>,
     total_stats: SolverStats,
     batches: u64,
     cubes_solved: u64,
@@ -369,12 +394,24 @@ impl CubeOracle {
         // Per-cube clock reads are only paid when the cost metric actually
         // consumes wall time; counter metrics run the backends untimed.
         let measure_wall_time = !config.cost.is_deterministic();
+        // The clause exchange only exists for a real pool of warm backends:
+        // the sequential executor has nobody to share with, and the fresh
+        // backend's iid-observation contract forbids cross-cube coupling.
+        let share =
+            (config.clause_sharing && effective_workers > 1 && config.backend == BackendKind::Warm)
+                .then(|| {
+                    Arc::new(ClauseExchange::new(
+                        effective_workers,
+                        config.share_ring_capacity,
+                    ))
+                });
         let exec = if effective_workers <= 1 {
             Executor::Sequential(config.backend.build(
                 &cnf,
                 &config.solver_config,
                 &config.frozen_vars,
                 measure_wall_time,
+                None,
             ))
         } else {
             Executor::Pool(WorkerPool::spawn(
@@ -384,6 +421,7 @@ impl CubeOracle {
                 &config.frozen_vars,
                 measure_wall_time,
                 effective_workers,
+                share.clone(),
             ))
         };
         let point_cache = PointCache::with_capacity(config.point_cache_capacity);
@@ -391,6 +429,7 @@ impl CubeOracle {
             cnf,
             config,
             exec,
+            share,
             total_stats: SolverStats::default(),
             batches: 0,
             cubes_solved: 0,
@@ -532,6 +571,13 @@ impl CubeOracle {
                 ));
                 pool.run_batch(&shared, &mut outcomes, &mut totals, &mut stats);
             }
+        }
+
+        // Clauses evicted from full export rings are losses of the exchange,
+        // not of any one worker; attribute them to the batch that caused
+        // them.
+        if let Some(exchange) = &self.share {
+            stats.import_dropped += exchange.take_dropped();
         }
 
         outcomes.sort_unstable_by_key(|o| o.index);

@@ -18,7 +18,9 @@
 //! behavioural contract lives in DESIGN.md ("CubeBackend contract").
 
 use pdsat_cnf::{Cnf, Cube, DratProof, Var};
-use pdsat_solver::{Budget, InterruptFlag, Solver, SolverConfig, SolverStats, Verdict};
+use pdsat_solver::{
+    Budget, InterruptFlag, ShareChannel, Solver, SolverConfig, SolverStats, Verdict,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -137,6 +139,11 @@ impl BackendKind {
     /// at warm-backend throughput (hundreds of nanoseconds per cube once a
     /// family's lemmas are learnt and trails are reused), the per-cube clock
     /// reads are a double-digit percentage of the remaining cost.
+    ///
+    /// `share` is the worker's endpoint of the pool's clause exchange, or
+    /// `None` when sharing is off. Only the warm backend installs it: a
+    /// fresh backend's per-cube solves must be iid observations of the same
+    /// algorithm, and foreign clauses arriving mid-batch would couple them.
     #[must_use]
     pub fn build(
         self,
@@ -144,6 +151,7 @@ impl BackendKind {
         config: &SolverConfig,
         frozen: &[Var],
         measure_wall_time: bool,
+        share: Option<Arc<dyn ShareChannel>>,
     ) -> Box<dyn CubeBackend> {
         // An untimed backend also silences the solver's own per-call
         // accounting: nothing reads `SolverStats::solve_time` when the cost
@@ -158,7 +166,9 @@ impl BackendKind {
                     .with_wall_time(measure_wall_time),
             ),
             BackendKind::Warm => Box::new(
-                WarmBackend::with_frozen(cnf, config, frozen).with_wall_time(measure_wall_time),
+                WarmBackend::with_frozen(cnf, config, frozen)
+                    .with_wall_time(measure_wall_time)
+                    .with_share(share),
             ),
         }
     }
@@ -341,6 +351,17 @@ impl WarmBackend {
         self
     }
 
+    /// Installs the worker's clause-sharing endpoint on the resident solver:
+    /// glue learnt clauses are exported as they are learnt, and foreign
+    /// clauses are imported at every `begin_batch` and at the solver's own
+    /// restart boundaries (each import invalidating the saved
+    /// assumption-prefix trail, exactly like a clause addition).
+    #[must_use]
+    pub fn with_share(mut self, share: Option<Arc<dyn ShareChannel>>) -> WarmBackend {
+        self.solver.set_share_channel(share);
+        self
+    }
+
     /// The persistent solver (e.g. to inspect carried-over learnt clauses).
     #[must_use]
     pub fn solver(&self) -> &Solver {
@@ -388,7 +409,10 @@ impl CubeBackend for WarmBackend {
     }
 
     fn begin_batch(&mut self) {
+        // Snapshot *before* draining the sharing channel, so the imports
+        // (and their counters) are attributed to the batch they serve.
         self.batch_start = *self.solver.stats();
+        self.solver.import_shared_clauses();
     }
 
     fn end_batch(&mut self) -> SolverStats {

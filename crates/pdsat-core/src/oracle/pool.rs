@@ -21,10 +21,11 @@
 //! the oracle (and with it the job senders) is dropped.
 
 use super::backend::BackendKind;
+use super::share::{ClauseExchange, WorkerShare};
 use super::{finish_outcome, CubeOutcome, VerdictSummary};
 use crate::CostMetric;
 use pdsat_cnf::{Cnf, Cube, Var};
-use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats};
+use pdsat_solver::{Budget, InterruptFlag, ShareChannel, SolverConfig, SolverStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -158,6 +159,7 @@ impl WorkerPool {
         frozen_vars: &[Var],
         measure_wall_time: bool,
         num_workers: usize,
+        share: Option<Arc<ClauseExchange>>,
     ) -> WorkerPool {
         let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
         let mut job_txs = Vec::with_capacity(num_workers);
@@ -168,10 +170,20 @@ impl WorkerPool {
             let cnf = Arc::clone(cnf);
             let solver_config = solver_config.clone();
             let frozen_vars = frozen_vars.to_vec();
+            // Each worker gets its own endpoint of the clause exchange,
+            // publishing into shard `slot` and draining every other shard.
+            let endpoint: Option<Arc<dyn ShareChannel>> = share.as_ref().map(|ex| {
+                Arc::new(WorkerShare::new(Arc::clone(ex), slot)) as Arc<dyn ShareChannel>
+            });
             handles.push(std::thread::spawn(move || {
                 let num_vars = cnf.num_vars();
-                let mut backend =
-                    backend.build(&cnf, &solver_config, &frozen_vars, measure_wall_time);
+                let mut backend = backend.build(
+                    &cnf,
+                    &solver_config,
+                    &frozen_vars,
+                    measure_wall_time,
+                    endpoint,
+                );
                 while let Ok(shared) = job_rx.recv() {
                     backend.begin_batch();
                     let mut report = WorkerReport {

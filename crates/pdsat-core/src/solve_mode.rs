@@ -39,6 +39,11 @@ pub struct SolveModeConfig {
     /// list the decomposition set here when `solver_config.simplify` is on,
     /// or the cube assumptions may land on eliminated variables.
     pub frozen_vars: Vec<Var>,
+    /// Cooperative clause sharing between the pool workers (default
+    /// `false`; see [`BatchConfig::clause_sharing`]). Verdicts and model
+    /// validity are unaffected, but per-cube costs become
+    /// schedule-dependent, so bit-identical runs require the default.
+    pub clause_sharing: bool,
 }
 
 impl Default for SolveModeConfig {
@@ -51,6 +56,7 @@ impl Default for SolveModeConfig {
             stop_on_sat: false,
             backend: BackendKind::Warm,
             frozen_vars: Vec::new(),
+            clause_sharing: false,
         }
     }
 }
@@ -101,6 +107,16 @@ pub struct SolveReport {
     /// Assumption/propagation replays skipped by trail reuse, summed over
     /// the family (`SolverStats::saved_propagations`).
     pub saved_propagations: u64,
+    /// Learnt clauses exported to the cooperative clause-sharing channel
+    /// while processing the family (`SolverStats::exported_clauses`); zero
+    /// unless [`SolveModeConfig::clause_sharing`] ran on a real pool.
+    pub exported_clauses: u64,
+    /// Foreign clauses imported from the channel and attached
+    /// (`SolverStats::imported_clauses`).
+    pub imported_clauses: u64,
+    /// Shared clauses lost on the way: ring evictions plus imports the
+    /// receiving solver could not attach (`SolverStats::import_dropped`).
+    pub import_dropped: u64,
     /// A model of the original formula extracted from the first satisfiable
     /// sub-problem, if any.
     #[serde(skip)]
@@ -131,6 +147,9 @@ impl SolveReport {
             wall_time: Duration::ZERO,
             reused_assumptions: 0,
             saved_propagations: 0,
+            exported_clauses: 0,
+            imported_clauses: 0,
+            import_dropped: 0,
             model: None,
             per_cube_costs: Vec::new(),
             certificates: Vec::new(),
@@ -181,6 +200,9 @@ impl SolveReport {
             merged.wall_time += unit.wall_time;
             merged.reused_assumptions += unit.reused_assumptions;
             merged.saved_propagations += unit.saved_propagations;
+            merged.exported_clauses += unit.exported_clauses;
+            merged.imported_clauses += unit.imported_clauses;
+            merged.import_dropped += unit.import_dropped;
             merged
                 .per_cube_costs
                 .extend_from_slice(&unit.per_cube_costs);
@@ -234,6 +256,7 @@ impl FamilySolver {
             stop_on_sat: config.stop_on_sat,
             backend: config.backend,
             frozen_vars: config.frozen_vars.clone(),
+            clause_sharing: config.clause_sharing,
             ..BatchConfig::default()
         };
         FamilySolver {
@@ -356,6 +379,9 @@ fn report_from_batch(set: &DecompositionSet, mut batch: BatchResult) -> SolveRep
         wall_time: batch.wall_time,
         reused_assumptions: batch.solver_stats.reused_assumptions,
         saved_propagations: batch.solver_stats.saved_propagations,
+        exported_clauses: batch.solver_stats.exported_clauses,
+        imported_clauses: batch.solver_stats.imported_clauses,
+        import_dropped: batch.solver_stats.import_dropped,
         model,
         per_cube_costs: batch.costs().collect(),
         certificates,

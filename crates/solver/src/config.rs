@@ -105,6 +105,14 @@ pub struct SolverConfig {
     /// without the feature (logging is pure observation; see DESIGN.md,
     /// "Proof logging & certificate checking").
     pub proof: bool,
+    /// Learnt clauses with LBD (glue) at or below this bound are offered to
+    /// the clause-sharing channel when one is installed via
+    /// `Solver::set_share_channel` (default `2`, the classic "glue clause"
+    /// threshold); unit and binary learnt clauses are always eligible
+    /// regardless of the bound. With no channel installed — the default —
+    /// the knob has no effect and the solver is bit-identical to a build
+    /// without the feature (see DESIGN.md, "Cooperative clause sharing").
+    pub share_lbd_max: u32,
 }
 
 impl Default for SolverConfig {
@@ -129,6 +137,7 @@ impl Default for SolverConfig {
             subsumption_limit: 10_000_000,
             vivify: true,
             proof: false,
+            share_lbd_max: 2,
         }
     }
 }
@@ -154,6 +163,7 @@ mod tests {
         assert!(cfg.subsumption_limit > 0);
         assert!(cfg.vivify);
         assert!(!cfg.proof, "proof logging is opt-in");
+        assert_eq!(cfg.share_lbd_max, 2, "share only glue clauses by default");
     }
 
     #[test]

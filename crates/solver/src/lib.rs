@@ -45,6 +45,7 @@ mod heap;
 mod lbool;
 mod luby;
 mod proof;
+mod share;
 mod simplify;
 mod solver;
 mod stats;
@@ -53,5 +54,6 @@ pub use budget::{Budget, InterruptFlag, StopReason};
 pub use config::SolverConfig;
 pub use luby::luby;
 pub use proof::ProofLogger;
+pub use share::{ShareChannel, SharedClause};
 pub use solver::{Solver, Verdict};
 pub use stats::SolverStats;

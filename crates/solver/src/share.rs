@@ -1,0 +1,49 @@
+//! The clause-sharing channel of the solver.
+//!
+//! Cooperating solvers working on sub-problems of one common formula can
+//! exchange learnt clauses: every learnt clause is a consequence of the
+//! shared base formula (assumptions enter the search only as decisions and
+//! are resolved away or appear negated in the learnt clause), so a clause
+//! learnt by one solver is sound to attach in any other. The solver side of
+//! that exchange is deliberately small: a [`ShareChannel`] installed via
+//! [`Solver::set_share_channel`](crate::Solver::set_share_channel) receives
+//! eligible learnt clauses at learning time (units, binaries, and anything
+//! with LBD at or below
+//! [`SolverConfig::share_lbd_max`](crate::SolverConfig::share_lbd_max)) and
+//! hands back foreign clauses when the solver drains it at its safe import
+//! boundaries — batch starts and restarts, both at the root level. The
+//! executor that owns the worker topology provides the implementation
+//! (rings, dedup, drop policy); with no channel installed the solver is
+//! bit-identical to one built without the feature.
+
+use pdsat_cnf::Lit;
+
+/// A clause in flight between cooperating solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedClause {
+    /// The literals of the clause — a consequence of the common base
+    /// formula, in no particular order.
+    pub lits: Vec<Lit>,
+    /// The exporter's LBD (glue) measurement at learning time; importers use
+    /// it as the initial activity tier of the attached clause.
+    pub lbd: u32,
+}
+
+/// The exchange endpoint a [`Solver`](crate::Solver) publishes eligible
+/// learnt clauses to and fetches foreign clauses from.
+///
+/// Methods take `&self` because one endpoint is shared between the solver
+/// and the executor that drains counters; implementations synchronize
+/// internally (the solver never calls `export` and `fetch` concurrently
+/// with itself).
+pub trait ShareChannel: Send + Sync {
+    /// Offers a freshly learnt clause (asserting literal first, as left by
+    /// conflict analysis) with its LBD. Implementations may drop it — the
+    /// exchange is an optimization, never a requirement.
+    fn export(&self, lits: &[Lit], lbd: u32);
+
+    /// Appends every foreign clause published since the previous fetch to
+    /// `out`. The solver imports them at the root level and drops whatever
+    /// it cannot soundly attach.
+    fn fetch(&self, out: &mut Vec<SharedClause>);
+}

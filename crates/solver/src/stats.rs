@@ -50,6 +50,17 @@ pub struct SolverStats {
     pub strengthened_clauses: u64,
     /// Number of literals removed from clauses by vivification.
     pub vivified_lits: u64,
+    /// Number of learnt clauses offered to the clause-sharing channel (zero
+    /// unless a channel is installed; see `SolverConfig::share_lbd_max`).
+    pub exported_clauses: u64,
+    /// Number of foreign clauses fetched from the clause-sharing channel and
+    /// attached (units are applied at the root level immediately).
+    pub imported_clauses: u64,
+    /// Number of shared clauses lost on the way in: evicted from a full
+    /// export ring, or fetched but not attached (already satisfied at the
+    /// root, mentioning a locally eliminated variable, or not derivable by
+    /// unit propagation while proof logging demands a checkable addition).
+    pub import_dropped: u64,
     /// Total wall-clock time spent inside `solve` calls.
     #[serde(with = "duration_secs")]
     pub solve_time: Duration,
@@ -92,6 +103,13 @@ impl SolverStats {
                 .strengthened_clauses
                 .saturating_sub(before.strengthened_clauses),
             vivified_lits: self.vivified_lits.saturating_sub(before.vivified_lits),
+            exported_clauses: self
+                .exported_clauses
+                .saturating_sub(before.exported_clauses),
+            imported_clauses: self
+                .imported_clauses
+                .saturating_sub(before.imported_clauses),
+            import_dropped: self.import_dropped.saturating_sub(before.import_dropped),
             solve_time: self.solve_time.saturating_sub(before.solve_time),
         }
     }
@@ -114,6 +132,9 @@ impl SolverStats {
         self.subsumed_clauses += other.subsumed_clauses;
         self.strengthened_clauses += other.strengthened_clauses;
         self.vivified_lits += other.vivified_lits;
+        self.exported_clauses += other.exported_clauses;
+        self.imported_clauses += other.imported_clauses;
+        self.import_dropped += other.import_dropped;
         self.solve_time += other.solve_time;
     }
 }
