@@ -14,7 +14,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdsat_bench::{bench_bivium_instance, bench_grain_instance, start_set};
-use pdsat_core::{BackendKind, CostMetric, FamilySolver, SolveModeConfig};
+use pdsat_cnf::Cube;
+use pdsat_core::{
+    BackendKind, BatchConfig, CostMetric, CubeOracle, FamilySolver, FaultPlan, SolveModeConfig,
+};
 use pdsat_solver::SolverConfig;
 use std::time::Duration;
 
@@ -211,6 +214,48 @@ fn bench_solving_mode(c: &mut Criterion) {
                 },
             );
         }
+    }
+
+    // Fault-tolerance machinery overhead: the same 1024-cube family on a
+    // 4-worker oracle pool with the fault plan empty (`off`, the production
+    // default — the `catch_unwind` wrapper is the only addition over the
+    // pre-fault-tolerance pool) vs armed with a plan whose ordinals never
+    // fire (`armed` additionally pays the `FaultyBackend` wrapper and one
+    // ordinal atomic per solve). CI gates `off` at ≤ 10 % regression vs the
+    // committed baseline and `armed` within 10 % of `off` head-to-head.
+    let family_cubes: Vec<Cube> = bivium_set.cubes().collect();
+    for armed in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "bivium_family_1024_cubes_fault_plan",
+                if armed { "armed" } else { "off" },
+            ),
+            &armed,
+            |b, &armed| {
+                let config = BatchConfig {
+                    cost: CostMetric::Conflicts,
+                    num_workers: 4,
+                    fault_plan: if armed {
+                        FaultPlan {
+                            // A scheduled panic at an ordinal no bench run
+                            // reaches: the machinery is armed, nothing fires.
+                            solve_panics: vec![u64::MAX],
+                            ..FaultPlan::none()
+                        }
+                    } else {
+                        FaultPlan::none()
+                    },
+                    ..BatchConfig::default()
+                };
+                let mut oracle = CubeOracle::new(bivium.cnf(), config);
+                b.iter(|| {
+                    let result = oracle.solve_batch(&family_cubes, None);
+                    assert_eq!(result.outcomes.len(), family_cubes.len());
+                    assert_eq!(result.solver_stats.worker_panics, 0);
+                    result.solver_stats.conflicts
+                });
+            },
+        );
     }
 
     group.finish();

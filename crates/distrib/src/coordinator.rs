@@ -16,6 +16,7 @@
 //! final aggregate identical to an uninterrupted run.
 
 use crate::lease::{LeaseTable, ResultDisposition};
+use crate::store::CheckpointError;
 use crate::transport::{ClientMsg, ServerMsg, Timed, Transport, WorkUnit, WorkUnitId};
 use pdsat_checker::{check_model, check_unsat_proof, CheckFailure};
 use pdsat_cnf::{Assignment, Cnf, Value, Var};
@@ -136,10 +137,15 @@ fn encode_costs(costs: &[f64]) -> String {
         .join(",")
 }
 
-fn decode_bits(field: &str, line: &str) -> Result<f64, String> {
+fn decode_bits(field: &str, line: &str) -> Result<f64, CheckpointError> {
     u64::from_str_radix(field, 16)
         .map(f64::from_bits)
-        .map_err(|_| format!("bad value bits '{field}' in '{line}'"))
+        .map_err(|_| malformed(format!("bad value bits '{field}' in '{line}'")))
+}
+
+/// Shorthand for the parse-error variant of [`CheckpointError`].
+fn malformed(reason: String) -> CheckpointError {
+    CheckpointError::Malformed { reason }
 }
 
 impl CoordinatorCheckpoint {
@@ -206,7 +212,7 @@ impl CoordinatorCheckpoint {
         ));
         for (id, r) in &self.completed {
             out.push_str(&format!(
-                "unit {} {} {:016x} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+                "unit {} {} {:016x} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
                 id,
                 r.cubes_processed,
                 r.total_cost.to_bits(),
@@ -218,6 +224,8 @@ impl CoordinatorCheckpoint {
                 r.exported_clauses,
                 r.imported_clauses,
                 r.import_dropped,
+                r.worker_panics,
+                r.requeued_cubes,
                 encode_opt_usize(r.first_sat_index),
                 encode_opt_bits(r.cost_to_first_sat),
                 encode_model(r.model.as_ref()),
@@ -232,39 +240,45 @@ impl CoordinatorCheckpoint {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<CoordinatorCheckpoint, String> {
+    /// Returns [`CheckpointError::Malformed`] describing the first bad line.
+    pub fn from_text(text: &str) -> Result<CoordinatorCheckpoint, CheckpointError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty checkpoint")?;
+        let header = lines
+            .next()
+            .ok_or_else(|| malformed("empty checkpoint".into()))?;
         if header.trim() != "pdsat-coordinator-checkpoint v1" {
-            return Err(format!("unrecognized checkpoint header '{header}'"));
+            return Err(malformed(format!(
+                "unrecognized checkpoint header '{header}'"
+            )));
         }
-        let family = lines.next().ok_or("missing family line")?;
+        let family = lines
+            .next()
+            .ok_or_else(|| malformed("missing family line".into()))?;
         let mut set_size = None;
         let mut total_cubes = None;
         let mut work_unit_size = None;
         for field in family
             .strip_prefix("family ")
-            .ok_or_else(|| format!("bad family line '{family}'"))?
+            .ok_or_else(|| malformed(format!("bad family line '{family}'")))?
             .split_whitespace()
         {
             let (key, value) = field
                 .split_once('=')
-                .ok_or_else(|| format!("bad family field '{field}'"))?;
+                .ok_or_else(|| malformed(format!("bad family field '{field}'")))?;
             let parsed: usize = value
                 .parse()
-                .map_err(|_| format!("bad family value '{field}'"))?;
+                .map_err(|_| malformed(format!("bad family value '{field}'")))?;
             match key {
                 "set_size" => set_size = Some(parsed),
                 "total_cubes" => total_cubes = Some(parsed),
                 "work_unit_size" => work_unit_size = Some(parsed),
-                _ => return Err(format!("unknown family field '{field}'")),
+                _ => return Err(malformed(format!("unknown family field '{field}'"))),
             }
         }
         let (Some(set_size), Some(total_cubes), Some(work_unit_size)) =
             (set_size, total_cubes, work_unit_size)
         else {
-            return Err(format!("incomplete family line '{family}'"));
+            return Err(malformed(format!("incomplete family line '{family}'")));
         };
         let mut checkpoint = CoordinatorCheckpoint::empty(set_size, total_cubes, work_unit_size);
         for line in lines {
@@ -273,24 +287,26 @@ impl CoordinatorCheckpoint {
             }
             let rest = line
                 .strip_prefix("unit ")
-                .ok_or_else(|| format!("expected 'unit …', got '{line}'"))?;
+                .ok_or_else(|| malformed(format!("expected 'unit …', got '{line}'")))?;
             let fields: Vec<&str> = rest.split_whitespace().collect();
-            if fields.len() != 15 {
-                return Err(format!("expected 15 unit fields in '{line}'"));
+            if fields.len() != 17 {
+                return Err(malformed(format!("expected 17 unit fields in '{line}'")));
             }
-            let parse_usize = |f: &str| -> Result<usize, String> {
+            let parse_usize = |f: &str| -> Result<usize, CheckpointError> {
                 f.parse()
-                    .map_err(|_| format!("bad count '{f}' in '{line}'"))
+                    .map_err(|_| malformed(format!("bad count '{f}' in '{line}'")))
             };
-            let parse_u64 = |f: &str| -> Result<u64, String> {
+            let parse_u64 = |f: &str| -> Result<u64, CheckpointError> {
                 f.parse()
-                    .map_err(|_| format!("bad count '{f}' in '{line}'"))
+                    .map_err(|_| malformed(format!("bad count '{f}' in '{line}'")))
             };
             let id: WorkUnitId = fields[0]
                 .parse()
-                .map_err(|_| format!("bad unit id in '{line}'"))?;
+                .map_err(|_| malformed(format!("bad unit id in '{line}'")))?;
             if (id as usize) >= checkpoint.num_units() {
-                return Err(format!("unit id {id} outside the family in '{line}'"));
+                return Err(malformed(format!(
+                    "unit id {id} outside the family in '{line}'"
+                )));
             }
             let mut report = SolveReport::empty(set_size);
             report.cubes_processed = parse_usize(fields[1])?;
@@ -299,49 +315,54 @@ impl CoordinatorCheckpoint {
             report.unknown_count = parse_usize(fields[4])?;
             let nanos: u128 = fields[5]
                 .parse()
-                .map_err(|_| format!("bad wall time in '{line}'"))?;
+                .map_err(|_| malformed(format!("bad wall time in '{line}'")))?;
             report.wall_time = Duration::from_nanos(
-                u64::try_from(nanos).map_err(|_| format!("wall time overflow in '{line}'"))?,
+                u64::try_from(nanos)
+                    .map_err(|_| malformed(format!("wall time overflow in '{line}'")))?,
             );
             report.reused_assumptions = parse_u64(fields[6])?;
             report.saved_propagations = parse_u64(fields[7])?;
             report.exported_clauses = parse_u64(fields[8])?;
             report.imported_clauses = parse_u64(fields[9])?;
             report.import_dropped = parse_u64(fields[10])?;
-            report.first_sat_index = if fields[11] == "-" {
+            report.worker_panics = parse_u64(fields[11])?;
+            report.requeued_cubes = parse_u64(fields[12])?;
+            report.first_sat_index = if fields[13] == "-" {
                 None
             } else {
-                Some(parse_usize(fields[11])?)
+                Some(parse_usize(fields[13])?)
             };
-            report.cost_to_first_sat = if fields[12] == "-" {
+            report.cost_to_first_sat = if fields[14] == "-" {
                 None
             } else {
-                Some(decode_bits(fields[12], line)?)
+                Some(decode_bits(fields[14], line)?)
             };
-            report.model = if fields[13] == "-" {
+            report.model = if fields[15] == "-" {
                 None
             } else {
-                let mut model = Assignment::new(fields[13].len());
-                for (i, c) in fields[13].chars().enumerate() {
+                let mut model = Assignment::new(fields[15].len());
+                for (i, c) in fields[15].chars().enumerate() {
                     match c {
                         '1' => model.assign(Var::new(i as u32), true),
                         '0' => model.assign(Var::new(i as u32), false),
                         'x' => {}
-                        _ => return Err(format!("bad model character '{c}' in '{line}'")),
+                        _ => {
+                            return Err(malformed(format!("bad model character '{c}' in '{line}'")))
+                        }
                     }
                 }
                 Some(model)
             };
-            report.per_cube_costs = if fields[14] == "-" {
+            report.per_cube_costs = if fields[16] == "-" {
                 Vec::new()
             } else {
-                fields[14]
+                fields[16]
                     .split(',')
                     .map(|f| decode_bits(f, line))
                     .collect::<Result<_, _>>()?
             };
             if checkpoint.completed.insert(id, report).is_some() {
-                return Err(format!("unit {id} listed twice"));
+                return Err(malformed(format!("unit {id} listed twice")));
             }
         }
         Ok(checkpoint)

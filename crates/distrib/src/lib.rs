@@ -34,6 +34,7 @@ mod client;
 mod cluster;
 mod coordinator;
 mod lease;
+mod store;
 mod transport;
 mod volunteer;
 
@@ -45,9 +46,12 @@ pub use coordinator::{
 };
 pub use lease::{LeaseTable, ResultDisposition};
 pub use pdsat_checker::CheckFailure;
+pub use pdsat_core::{FaultPlan, FaultState};
+pub use store::{crc32, CheckpointError, CheckpointStore};
 pub use transport::{
-    synthetic_family_solver, ClientId, ClientMsg, LoopbackConfig, LoopbackTransport, ServerMsg,
-    Timed, Transport, TransportStats, WorkUnit, WorkUnitId,
+    synthetic_family_solver, ChaosTransport, ClientId, ClientMsg, FallibleTransport,
+    LoopbackConfig, LoopbackTransport, RetryPolicy, RetryStats, RetryTransport, ServerMsg, Timed,
+    Transport, TransportError, TransportStats, WorkUnit, WorkUnitId,
 };
 pub use volunteer::{
     simulate_volunteer_grid, synthetic_host_population, GridConfig, GridReport, Host,

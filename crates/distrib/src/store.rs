@@ -1,0 +1,513 @@
+//! Durable, corruption-tolerant persistence for coordinator checkpoints.
+//!
+//! [`CoordinatorCheckpoint::to_text`] produces a deterministic text form, but
+//! writing it straight to disk leaves two failure windows: a crash mid-write
+//! leaves a torn file, and a torn file silently loses *all* progress because
+//! the codec cannot tell "half a checkpoint" from "a short checkpoint".
+//! [`CheckpointStore`] closes both windows:
+//!
+//! * **Atomic replace** — every save writes a temp file, `fsync`s it, and
+//!   `rename`s it over the live path, so the live file is never half-written
+//!   by the store itself.
+//! * **Per-line CRC + trailer** — each payload line carries a CRC-32 prefix
+//!   and the file ends with an `end generation=… lines=… crc=…` trailer, so
+//!   truncation and bit-flips (torn sectors, cosmic rays, eager sync tools)
+//!   are *detected* rather than parsed into a bogus checkpoint.
+//! * **Double buffering** — the previous good file survives as `<path>.prev`;
+//!   [`CheckpointStore::load`] picks the newest generation that verifies, so
+//!   a corrupt latest file falls back to the last good one instead of
+//!   restarting the whole family from scratch.
+//!
+//! Fault injection hooks ([`FaultState::torn_write`]) let the chaos suite
+//! simulate a crash mid-save deterministically: the store deliberately leaves
+//! a truncated live file behind and reports the save as failed, exactly what
+//! a power cut between `write` and `fsync` would produce on a weaker store.
+
+use crate::coordinator::CoordinatorCheckpoint;
+use pdsat_core::FaultState;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a checkpoint could not be saved, loaded, or parsed.
+///
+/// Replaces the seed's `Err(String)` plumbing so callers can distinguish
+/// "the disk is broken" (retry, alert) from "the bytes are garbage" (fall
+/// back to the previous generation) from "there is nothing to recover"
+/// (start fresh or abort, the operator's call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The operating system refused an I/O operation (open, write, fsync,
+    /// rename). Retryable in principle; the checkpoint itself may be fine.
+    Io {
+        /// Path the failed operation touched.
+        path: String,
+        /// Operating-system error description.
+        message: String,
+    },
+    /// The checkpoint text itself does not parse — wrong header, bad field,
+    /// unit listed twice. The bytes arrived intact but mean nothing.
+    Malformed {
+        /// Description of the first offending line.
+        reason: String,
+    },
+    /// A payload line failed its CRC-32 check: the file was bit-flipped or
+    /// torn mid-line after it was written.
+    LineCorrupt {
+        /// 1-based line number within the store file.
+        line_number: usize,
+    },
+    /// The `end generation=… lines=… crc=…` trailer is missing or wrong —
+    /// the classic signature of a truncated (torn) write.
+    BadTrailer {
+        /// What exactly was wrong with (or missing from) the trailer.
+        reason: String,
+    },
+    /// Checkpoint files exist on disk but no generation verifies; recovery
+    /// is impossible and the caller must decide whether to start over.
+    NoValidGeneration {
+        /// Per-candidate failure summary for the operator.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint I/O error on '{path}': {message}")
+            }
+            CheckpointError::Malformed { reason } => {
+                write!(f, "malformed checkpoint: {reason}")
+            }
+            CheckpointError::LineCorrupt { line_number } => {
+                write!(f, "checkpoint line {line_number} failed its CRC check")
+            }
+            CheckpointError::BadTrailer { reason } => {
+                write!(f, "checkpoint trailer invalid (truncated write?): {reason}")
+            }
+            CheckpointError::NoValidGeneration { detail } => {
+                write!(f, "no valid checkpoint generation on disk: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over `data`.
+///
+/// Hand-rolled bitwise implementation — the workspace vendors no checksum
+/// crate and checkpoint files are small enough that a table is not worth
+/// the code. Matches zlib's `crc32()` for cross-checking.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// File-format header for the store framing (distinct from the inner
+/// checkpoint codec's own header, which travels as payload line 1).
+const STORE_HEADER: &str = "pdsat-checkpoint-store v1";
+
+/// Durable writer/reader for [`CoordinatorCheckpoint`]s with generations,
+/// CRC framing, and a double-buffered fallback file.
+///
+/// One store instance owns one `path`; the previous good generation lives
+/// beside it at `<path>.prev` and the in-flight temp file at `<path>.tmp`.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    generation: u64,
+    faults: Option<Arc<FaultState>>,
+}
+
+impl CheckpointStore {
+    /// Creates a store rooted at `path`. Nothing touches the disk until
+    /// [`save`](CheckpointStore::save) or [`load`](CheckpointStore::load).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore {
+            path: path.into(),
+            generation: 0,
+            faults: None,
+        }
+    }
+
+    /// Creates a store whose saves consult `faults` for injected torn
+    /// writes. Production code uses [`new`](CheckpointStore::new); this
+    /// constructor exists for the chaos suite.
+    #[must_use]
+    pub fn with_faults(path: impl Into<PathBuf>, faults: Arc<FaultState>) -> CheckpointStore {
+        CheckpointStore {
+            path: path.into(),
+            generation: 0,
+            faults: Some(faults),
+        }
+    }
+
+    /// The generation number the *next* [`save`](CheckpointStore::save)
+    /// will write. Starts at 0 and is bumped past the newest on-disk
+    /// generation by [`load`](CheckpointStore::load).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Path of the live checkpoint file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn prev_path(&self) -> PathBuf {
+        sibling(&self.path, ".prev")
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        sibling(&self.path, ".tmp")
+    }
+
+    /// Persists `checkpoint` atomically and rotates the previous live file
+    /// to `<path>.prev`, returning the generation number written.
+    ///
+    /// Write order is crash-safe: the new bytes are fully on disk (written
+    /// and fsynced under a temp name) before any existing file is disturbed,
+    /// so at every instant either the old or the new generation is intact.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the filesystem refuses, or — under fault
+    /// injection — when a torn write was simulated (the live file is then
+    /// deliberately left truncated, as a crash would).
+    pub fn save(&mut self, checkpoint: &CoordinatorCheckpoint) -> Result<u64, CheckpointError> {
+        let generation = self.generation;
+        let encoded = encode_store(&checkpoint.to_text(), generation);
+        let torn_at = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.torn_write())
+            .map(|k| k.min(encoded.len()));
+
+        if let Some(k) = torn_at {
+            // Simulated crash mid-save: rotate like a real save would, then
+            // leave a truncated live file with no fsync and report failure.
+            rotate(&self.path, &self.prev_path())?;
+            write_bytes(&self.path, &encoded.as_bytes()[..k], false)?;
+            return Err(CheckpointError::Io {
+                path: self.path.display().to_string(),
+                message: format!("simulated torn write after {k} bytes (injected fault)"),
+            });
+        }
+
+        write_bytes(&self.tmp_path(), encoded.as_bytes(), true)?;
+        rotate(&self.path, &self.prev_path())?;
+        fs::rename(self.tmp_path(), &self.path).map_err(|e| CheckpointError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        sync_parent_dir(&self.path);
+        self.generation = generation + 1;
+        Ok(generation)
+    }
+
+    /// Recovers the newest checkpoint generation that verifies, consulting
+    /// the live file first and falling back to `<path>.prev`.
+    ///
+    /// Returns `Ok(None)` when neither file exists (fresh start). On
+    /// success the store's next save generation is set past the recovered
+    /// one, so resumed runs keep a monotone generation history.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoValidGeneration`] when files exist but none
+    /// passes CRC + trailer + codec verification, and
+    /// [`CheckpointError::Io`] for filesystem-level read failures.
+    pub fn load(&mut self) -> Result<Option<CoordinatorCheckpoint>, CheckpointError> {
+        let mut best: Option<(u64, CoordinatorCheckpoint)> = None;
+        let mut failures = Vec::new();
+        let mut any_file = false;
+
+        for path in [self.path.clone(), self.prev_path()] {
+            let text = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    return Err(CheckpointError::Io {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })
+                }
+            };
+            any_file = true;
+            match decode_store(&text).and_then(|(payload, generation)| {
+                CoordinatorCheckpoint::from_text(&payload).map(|cp| (generation, cp))
+            }) {
+                Ok((generation, checkpoint)) => {
+                    if best.as_ref().is_none_or(|(g, _)| generation > *g) {
+                        best = Some((generation, checkpoint));
+                    }
+                }
+                Err(e) => failures.push(format!("{}: {e}", path.display())),
+            }
+        }
+
+        match best {
+            Some((generation, checkpoint)) => {
+                self.generation = generation + 1;
+                Ok(Some(checkpoint))
+            }
+            None if !any_file => Ok(None),
+            None => Err(CheckpointError::NoValidGeneration {
+                detail: failures.join("; "),
+            }),
+        }
+    }
+}
+
+/// Appends `suffix` to the file name of `path` (`a/b.ckpt` → `a/b.ckpt.prev`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(suffix);
+    path.with_file_name(name)
+}
+
+/// Frames `payload` (the inner checkpoint text) with the store header,
+/// per-line CRCs, and the generation trailer.
+fn encode_store(payload: &str, generation: u64) -> String {
+    let mut out = String::new();
+    out.push_str(STORE_HEADER);
+    out.push('\n');
+    let mut lines = 0usize;
+    for line in payload.lines() {
+        out.push_str(&format!("{:08x} {line}\n", crc32(line.as_bytes())));
+        lines += 1;
+    }
+    out.push_str(&format!(
+        "end generation={generation} lines={lines} crc={:08x}\n",
+        crc32(payload.as_bytes())
+    ));
+    out
+}
+
+/// Verifies framing and CRCs, returning the inner payload text and the
+/// generation number from the trailer.
+fn decode_store(text: &str) -> Result<(String, u64), CheckpointError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CheckpointError::BadTrailer {
+        reason: "empty file".into(),
+    })?;
+    if header.trim() != STORE_HEADER {
+        return Err(CheckpointError::Malformed {
+            reason: format!("unrecognized store header '{header}'"),
+        });
+    }
+
+    let mut payload = String::new();
+    let mut payload_lines = 0usize;
+    let mut trailer: Option<&str> = None;
+    for (index, line) in lines {
+        if let Some(rest) = line.strip_prefix("end ") {
+            trailer = Some(rest);
+            break;
+        }
+        let (crc_field, body) = line.split_once(' ').ok_or(CheckpointError::LineCorrupt {
+            line_number: index + 1,
+        })?;
+        let stored =
+            u32::from_str_radix(crc_field, 16).map_err(|_| CheckpointError::LineCorrupt {
+                line_number: index + 1,
+            })?;
+        if stored != crc32(body.as_bytes()) {
+            return Err(CheckpointError::LineCorrupt {
+                line_number: index + 1,
+            });
+        }
+        payload.push_str(body);
+        payload.push('\n');
+        payload_lines += 1;
+    }
+
+    let trailer = trailer.ok_or(CheckpointError::BadTrailer {
+        reason: "missing 'end …' trailer".into(),
+    })?;
+    let mut generation = None;
+    let mut declared_lines = None;
+    let mut declared_crc = None;
+    for field in trailer.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| CheckpointError::BadTrailer {
+                reason: format!("bad trailer field '{field}'"),
+            })?;
+        match key {
+            "generation" => {
+                generation =
+                    Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| CheckpointError::BadTrailer {
+                                reason: format!("bad generation '{value}'"),
+                            })?,
+                    );
+            }
+            "lines" => {
+                declared_lines =
+                    Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| CheckpointError::BadTrailer {
+                                reason: format!("bad line count '{value}'"),
+                            })?,
+                    );
+            }
+            "crc" => {
+                declared_crc = Some(u32::from_str_radix(value, 16).map_err(|_| {
+                    CheckpointError::BadTrailer {
+                        reason: format!("bad payload crc '{value}'"),
+                    }
+                })?);
+            }
+            _ => {
+                return Err(CheckpointError::BadTrailer {
+                    reason: format!("unknown trailer field '{field}'"),
+                })
+            }
+        }
+    }
+    let (Some(generation), Some(declared_lines), Some(declared_crc)) =
+        (generation, declared_lines, declared_crc)
+    else {
+        return Err(CheckpointError::BadTrailer {
+            reason: format!("incomplete trailer 'end {trailer}'"),
+        });
+    };
+    if declared_lines != payload_lines {
+        return Err(CheckpointError::BadTrailer {
+            reason: format!("trailer declares {declared_lines} lines, found {payload_lines}"),
+        });
+    }
+    if declared_crc != crc32(payload.as_bytes()) {
+        return Err(CheckpointError::BadTrailer {
+            reason: "payload CRC mismatch".into(),
+        });
+    }
+    Ok((payload, generation))
+}
+
+/// Writes `bytes` to `path`, optionally fsyncing before close.
+fn write_bytes(path: &Path, bytes: &[u8], sync: bool) -> Result<(), CheckpointError> {
+    let io_err = |e: std::io::Error| CheckpointError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let mut file = fs::File::create(path).map_err(io_err)?;
+    file.write_all(bytes).map_err(io_err)?;
+    if sync {
+        file.sync_all().map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Moves the live file to the `.prev` slot if it exists; missing live file
+/// (first save ever) is not an error.
+fn rotate(live: &Path, prev: &Path) -> Result<(), CheckpointError> {
+    match fs::rename(live, prev) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(CheckpointError::Io {
+            path: live.display().to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored: some filesystems refuse
+/// directory fsync and the data file is already synced.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"pdsat"), crc32(b"pdsat"));
+        assert_ne!(crc32(b"pdsat"), crc32(b"pdsbt"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload =
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=3 total_cubes=8 work_unit_size=4\n";
+        let framed = encode_store(payload, 7);
+        let (decoded, generation) = decode_store(&framed).expect("framed text decodes");
+        assert_eq!(decoded, payload);
+        assert_eq!(generation, 7);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let payload =
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=3 total_cubes=8 work_unit_size=4\n";
+        let framed = encode_store(payload, 3);
+        for cut in [1, framed.len() / 2, framed.len() - 2] {
+            let torn = &framed[..cut];
+            assert!(
+                decode_store(torn).is_err(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let payload =
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=3 total_cubes=8 work_unit_size=4\n";
+        let framed = encode_store(payload, 3);
+        // Flip one character inside a payload body (after the first CRC
+        // prefix): find the family line and corrupt a digit.
+        let corrupted = framed.replace("set_size=3", "set_size=9");
+        assert_ne!(corrupted, framed);
+        assert!(matches!(
+            decode_store(&corrupted),
+            Err(CheckpointError::LineCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailer_line_count_mismatch_is_detected() {
+        let payload =
+            "pdsat-coordinator-checkpoint v1\nfamily set_size=3 total_cubes=8 work_unit_size=4\n";
+        let framed = encode_store(payload, 3);
+        // Drop the second payload line but keep the trailer intact.
+        let mut lines: Vec<&str> = framed.lines().collect();
+        lines.remove(2);
+        let shortened = lines.join("\n");
+        assert!(matches!(
+            decode_store(&shortened),
+            Err(CheckpointError::BadTrailer { .. })
+        ));
+    }
+}

@@ -12,9 +12,11 @@
 
 use crate::client::{ClientBehavior, ClientFate, VolunteerClient};
 use crate::volunteer::{synthetic_host_population, Host};
-use pdsat_core::SolveReport;
+use pdsat_core::{FaultState, RecvAction, SolveReport};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a work unit: its index in the family's shard order.
 pub type WorkUnitId = u32;
@@ -385,6 +387,282 @@ impl<F: FnMut(&WorkUnit) -> SolveReport> Transport for LoopbackTransport<F> {
     }
 }
 
+/// Why a transport operation failed.
+///
+/// All variants are *transient* in the BOINC sense: the grid heals itself
+/// (leases expire and are re-issued, [`crate::LeaseTable`] deduplicates), so
+/// the correct reaction to every transport error is bounded retry followed by
+/// giving up on that one message — never aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The message could not be handed to the wire right now; a retry with
+    /// backoff may succeed.
+    Transient {
+        /// Human-readable description of what failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Transient { detail } => {
+                write!(f, "transient transport failure: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A message channel that can *fail*: the honest signature of a real
+/// network, as opposed to [`Transport`] whose `send` is infallible.
+///
+/// [`RetryTransport`] adapts any `FallibleTransport` back into a
+/// [`Transport`] by retrying with deterministic backoff, which is the only
+/// place in the coordinator stack allowed to swallow transport errors.
+pub trait FallibleTransport {
+    /// Attempts to deliver a coordinator message to `to` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Transient`] when the send did not happen; the
+    /// caller may retry (the message was *not* partially delivered).
+    fn try_send(&mut self, to: ClientId, msg: ServerMsg, now: f64) -> Result<(), TransportError>;
+
+    /// Attempts to take the next client message, in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Transient`] when the receive side is temporarily
+    /// unavailable; `Ok(None)` still means "no client will ever speak again".
+    fn try_recv(&mut self) -> Result<Option<Timed<ClientMsg>>, TransportError>;
+}
+
+/// Wraps an infallible [`Transport`] and injects seeded message-level
+/// faults from a [`FaultState`] plan: send failures (visible to the caller
+/// as [`TransportError::Transient`]) and receive-side drops, duplicates,
+/// and delays (absorbed silently, exactly like a flaky network).
+///
+/// Delivery order stays non-decreasing in `at` even under delays: delayed
+/// messages park in a local heap and are merged back against a one-message
+/// lookahead of the inner transport. Duplicates are re-delivered
+/// immediately after the original with an identical timestamp and an
+/// identical (memoized) report, which [`crate::LeaseTable`] is designed to
+/// absorb — the loopback analogue of a client double-uploading a result.
+pub struct ChaosTransport<T> {
+    inner: T,
+    faults: Arc<FaultState>,
+    /// Lookahead slot: next inner message already drawn but not delivered.
+    pending: Option<Timed<ClientMsg>>,
+    /// Messages whose delivery was artificially delayed, min-heap by time.
+    delayed: BinaryHeap<QueuedMsg>,
+    /// Copies of duplicated messages, delivered right after the original.
+    duplicates: VecDeque<Timed<ClientMsg>>,
+    seq: u64,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner`, drawing fault decisions from `faults`.
+    pub fn new(inner: T, faults: Arc<FaultState>) -> ChaosTransport<T> {
+        ChaosTransport {
+            inner,
+            faults,
+            pending: None,
+            delayed: BinaryHeap::new(),
+            duplicates: VecDeque::new(),
+            seq: 0,
+        }
+    }
+
+    /// Read access to the wrapped transport (e.g. for its stats).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Pulls from the inner transport until a message survives its fault
+    /// action, parking delayed ones and queueing duplicate copies.
+    fn fill_pending(&mut self) {
+        while self.pending.is_none() {
+            let Some(msg) = self.inner.recv() else { return };
+            match self.faults.recv_action() {
+                RecvAction::Deliver => self.pending = Some(msg),
+                RecvAction::Drop => {}
+                RecvAction::Duplicate => {
+                    self.duplicates.push_back(Timed {
+                        at: msg.at,
+                        payload: msg.payload.clone(),
+                    });
+                    self.pending = Some(msg);
+                }
+                RecvAction::Delay(by) => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.delayed.push(QueuedMsg {
+                        at: msg.at + by.max(0.0),
+                        seq,
+                        msg: msg.payload,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> FallibleTransport for ChaosTransport<T> {
+    fn try_send(&mut self, to: ClientId, msg: ServerMsg, now: f64) -> Result<(), TransportError> {
+        if self.faults.send_should_fail() {
+            return Err(TransportError::Transient {
+                detail: format!("injected send failure (to client {to})"),
+            });
+        }
+        self.inner.send(to, msg, now);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Timed<ClientMsg>>, TransportError> {
+        if let Some(dup) = self.duplicates.pop_front() {
+            return Ok(Some(dup));
+        }
+        self.fill_pending();
+        let deliver_delayed = match (&self.pending, self.delayed.peek()) {
+            (Some(p), Some(d)) => d.at <= p.at,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if deliver_delayed {
+            let d = self.delayed.pop().expect("peeked above");
+            return Ok(Some(Timed {
+                at: d.at,
+                payload: d.msg,
+            }));
+        }
+        Ok(self.pending.take())
+    }
+}
+
+/// Retry behaviour of a [`RetryTransport`]: deterministic truncated
+/// exponential backoff with seeded jitter, all in *simulated* seconds (the
+/// transport layer shares the coordinator's virtual clock; no wall-clock
+/// sleeping happens anywhere).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry, seconds.
+    pub base_backoff: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub multiplier: f64,
+    /// Jitter fraction: each wait is scaled by `1 + jitter * u` with
+    /// `u ∈ [0, 1)` drawn from the seeded generator. Zero disables jitter.
+    pub jitter: f64,
+    /// Per-message deadline, seconds of accumulated backoff after which the
+    /// message is abandoned (lease expiry + re-issue recovers the work).
+    pub deadline: f64,
+    /// Seed of the jitter sequence; fixed seed → fully reproducible waits.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff: 0.5,
+            multiplier: 2.0,
+            jitter: 0.5,
+            deadline: 60.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters of a [`RetryTransport`]'s recovery activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Total send attempts, including first tries.
+    pub send_attempts: u64,
+    /// Attempts beyond the first (i.e. actual retries).
+    pub retries: u64,
+    /// Messages given up on after the per-message deadline. Safe because
+    /// every abandoned message is recovered by lease expiry and the
+    /// [`crate::LeaseTable`]'s idempotent result accounting.
+    pub abandoned: u64,
+}
+
+/// Adapts a [`FallibleTransport`] back into the coordinator's infallible
+/// [`Transport`] by retrying failed sends with deterministic exponential
+/// backoff and jitter, bounded by a per-message deadline.
+///
+/// Abandoning a message after the deadline is *correct*, not merely
+/// pragmatic: an undelivered `Assign` makes the lease expire and the unit is
+/// re-issued; an undelivered `NoWork` only delays one poll. No state is
+/// lost, which is exactly why the coordinator can keep an infallible
+/// interface above a faulty wire.
+pub struct RetryTransport<T> {
+    inner: T,
+    policy: RetryPolicy,
+    stats: RetryStats,
+    jitter_state: u64,
+}
+
+impl<T: FallibleTransport> RetryTransport<T> {
+    /// Wraps `inner` under the given retry policy.
+    pub fn new(inner: T, policy: RetryPolicy) -> RetryTransport<T> {
+        RetryTransport {
+            inner,
+            policy,
+            stats: RetryStats::default(),
+            jitter_state: policy.seed,
+        }
+    }
+
+    /// Recovery counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Read access to the wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Next jitter draw in `[0, 1)` (splitmix64 over the policy seed).
+    fn jitter_draw(&mut self) -> f64 {
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: FallibleTransport> Transport for RetryTransport<T> {
+    fn send(&mut self, to: ClientId, msg: ServerMsg, now: f64) {
+        let mut waited = 0.0_f64;
+        let mut backoff = self.policy.base_backoff;
+        loop {
+            self.stats.send_attempts += 1;
+            if self.inner.try_send(to, msg, now + waited).is_ok() {
+                return;
+            }
+            let wait = backoff * (1.0 + self.policy.jitter * self.jitter_draw());
+            waited += wait;
+            backoff *= self.policy.multiplier;
+            if waited > self.policy.deadline {
+                self.stats.abandoned += 1;
+                return;
+            }
+            self.stats.retries += 1;
+        }
+    }
+
+    fn recv(&mut self) -> Option<Timed<ClientMsg>> {
+        // ChaosTransport never fails receives; for other backends a
+        // transient receive failure is indistinguishable from "nothing
+        // arrived yet", and the coordinator's own loop re-polls.
+        self.inner.try_recv().ok().flatten()
+    }
+}
+
 /// A deterministic stand-in for remote SAT solving in tests and benches: the
 /// report of a unit is fabricated from the family's per-cube costs (every
 /// cube "solved" at its nominal cost; optionally every `sat_every`-th cube of
@@ -413,5 +691,151 @@ pub fn synthetic_family_solver(
             }
         }
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsat_core::FaultPlan;
+
+    /// A scripted inner transport: records sends, replays a fixed inbox.
+    struct ScriptedTransport {
+        sent: Vec<(ClientId, f64)>,
+        inbox: VecDeque<Timed<ClientMsg>>,
+    }
+
+    impl ScriptedTransport {
+        fn with_requests(times: &[f64]) -> ScriptedTransport {
+            ScriptedTransport {
+                sent: Vec::new(),
+                inbox: times
+                    .iter()
+                    .map(|&at| Timed {
+                        at,
+                        payload: ClientMsg::RequestWork { client: 0 },
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    impl Transport for ScriptedTransport {
+        fn send(&mut self, to: ClientId, _msg: ServerMsg, now: f64) {
+            self.sent.push((to, now));
+        }
+        fn recv(&mut self) -> Option<Timed<ClientMsg>> {
+            self.inbox.pop_front()
+        }
+    }
+
+    fn arrival_times<T: FallibleTransport>(chaos: &mut T) -> Vec<f64> {
+        let mut times = Vec::new();
+        while let Ok(Some(msg)) = chaos.try_recv() {
+            times.push(msg.at);
+            if times.len() > 100 {
+                break;
+            }
+        }
+        times
+    }
+
+    #[test]
+    fn chaos_drop_removes_messages() {
+        let plan = FaultPlan {
+            drop_messages: vec![1],
+            ..FaultPlan::none()
+        };
+        let inner = ScriptedTransport::with_requests(&[1.0, 2.0, 3.0]);
+        let mut chaos = ChaosTransport::new(inner, plan.arm());
+        assert_eq!(arrival_times(&mut chaos), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn chaos_duplicate_preserves_timestamp() {
+        let plan = FaultPlan {
+            duplicate_messages: vec![0],
+            ..FaultPlan::none()
+        };
+        let inner = ScriptedTransport::with_requests(&[1.0, 2.0]);
+        let mut chaos = ChaosTransport::new(inner, plan.arm());
+        assert_eq!(arrival_times(&mut chaos), vec![1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn chaos_delay_keeps_arrival_order_non_decreasing() {
+        let plan = FaultPlan {
+            delay_messages: vec![(0, 1.5)],
+            ..FaultPlan::none()
+        };
+        let inner = ScriptedTransport::with_requests(&[1.0, 2.0, 3.0]);
+        let mut chaos = ChaosTransport::new(inner, plan.arm());
+        let times = arrival_times(&mut chaos);
+        // Message 0 is delayed from 1.0 to 2.5, landing between 2.0 and 3.0.
+        assert_eq!(times, vec![2.0, 2.5, 3.0]);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn retry_send_recovers_from_transient_failures() {
+        let plan = FaultPlan {
+            send_failures: vec![0, 1],
+            ..FaultPlan::none()
+        };
+        let inner = ScriptedTransport::with_requests(&[]);
+        let chaos = ChaosTransport::new(inner, plan.arm());
+        let mut retry = RetryTransport::new(chaos, RetryPolicy::default());
+        retry.send(7, ServerMsg::NoWork, 10.0);
+        let stats = retry.stats();
+        assert_eq!(stats.send_attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.abandoned, 0);
+        let sent = &retry.inner().inner().sent;
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, 7);
+        // Delivered after some accumulated virtual backoff.
+        assert!(sent[0].1 > 10.0);
+    }
+
+    #[test]
+    fn retry_send_abandons_after_deadline() {
+        // Every send fails forever; the deadline must bound the retries.
+        let plan = FaultPlan {
+            send_failures: (0..1000).collect(),
+            ..FaultPlan::none()
+        };
+        let inner = ScriptedTransport::with_requests(&[]);
+        let chaos = ChaosTransport::new(inner, plan.arm());
+        let policy = RetryPolicy {
+            deadline: 5.0,
+            ..RetryPolicy::default()
+        };
+        let mut retry = RetryTransport::new(chaos, policy);
+        retry.send(0, ServerMsg::NoWork, 0.0);
+        let stats = retry.stats();
+        assert_eq!(stats.abandoned, 1);
+        assert!(stats.send_attempts < 16, "deadline must bound attempts");
+        assert!(retry.inner().inner().sent.is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_is_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                send_failures: vec![0, 1, 2],
+                ..FaultPlan::none()
+            };
+            let inner = ScriptedTransport::with_requests(&[]);
+            let chaos = ChaosTransport::new(inner, plan.arm());
+            let policy = RetryPolicy {
+                seed,
+                ..RetryPolicy::default()
+            };
+            let mut retry = RetryTransport::new(chaos, policy);
+            retry.send(0, ServerMsg::NoWork, 0.0);
+            retry.inner().inner().sent.clone()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 }

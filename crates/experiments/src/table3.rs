@@ -49,6 +49,13 @@ pub struct InstanceMeasurement {
     pub imported_clauses: u64,
     /// Shared clauses lost to full rings or rejected at import.
     pub import_dropped: u64,
+    /// Worker-thread panics survived via backend quarantine and respawn
+    /// (zero in healthy runs; nonzero only under fault injection or a
+    /// genuinely crashing backend).
+    pub worker_panics: u64,
+    /// Cubes whose first solve attempt died with its backend and that were
+    /// re-run exactly once on a respawned or fallback backend.
+    pub requeued_cubes: u64,
 }
 
 /// One row of Table 3 (one weakened problem, three instances).
@@ -222,6 +229,8 @@ pub fn run_table3(
                 exported_clauses: report.exported_clauses,
                 imported_clauses: report.imported_clauses,
                 import_dropped: report.import_dropped,
+                worker_panics: report.worker_panics,
+                requeued_cubes: report.requeued_cubes,
             });
         }
         let mean_deviation_percent = if deviations.is_empty() {

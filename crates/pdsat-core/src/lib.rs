@@ -104,6 +104,7 @@ mod decomposition;
 mod driver;
 mod estimator;
 mod extrapolate;
+pub mod fault;
 mod oracle;
 mod predict;
 mod restart;
@@ -120,6 +121,7 @@ pub use driver::{
 };
 pub use estimator::{normal_cdf, normal_quantile, PredictiveEstimate, SampleStats};
 pub use extrapolate::ParallelSystem;
+pub use fault::{FaultPlan, FaultState, RecvAction};
 pub use oracle::{
     prefix_schedule_order, BackendKind, BackendOutcome, BatchConfig, BatchResult, CubeBackend,
     CubeOracle, CubeOutcome, FreshBackend, PointCache, VerdictSummary, WarmBackend,

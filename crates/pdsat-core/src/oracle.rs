@@ -30,6 +30,7 @@ pub use backend::{BackendKind, BackendOutcome, CubeBackend, FreshBackend, WarmBa
 pub use cache::PointCache;
 use share::ClauseExchange;
 
+use crate::fault::FaultPlan;
 use crate::CostMetric;
 use pdsat_cnf::{Assignment, Cnf, Cube, DratProof, Var};
 use pdsat_solver::{Budget, InterruptFlag, SolverConfig, SolverStats, Verdict};
@@ -209,6 +210,15 @@ pub struct BatchConfig {
     /// evicts its oldest clause and counts the loss in
     /// `SolverStats::import_dropped`.
     pub share_ring_capacity: usize,
+    /// Deterministic fault injection for the worker pool (default: the empty
+    /// plan, which injects nothing and costs nothing). A non-empty plan is
+    /// armed when the oracle is built and wraps every pool backend — initial
+    /// and respawned — so the plan's scheduled solve panics and respawn
+    /// failures fire inside the workers, exercising the quarantine/respawn/
+    /// requeue machinery. Chaos tests only; the sequential executor and the
+    /// last-resort fallback are intentionally not injected (a panic there
+    /// propagates to the caller).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for BatchConfig {
@@ -227,6 +237,7 @@ impl Default for BatchConfig {
             prefix_schedule: true,
             clause_sharing: false,
             share_ring_capacity: 4096,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -414,6 +425,10 @@ impl CubeOracle {
                 None,
             ))
         } else {
+            // A non-empty fault plan is armed once per oracle; the workers
+            // share its ordinal counters, so "panic on the nth solve" counts
+            // solves across the whole pool.
+            let faults = (!config.fault_plan.is_empty()).then(|| config.fault_plan.clone().arm());
             Executor::Pool(WorkerPool::spawn(
                 &cnf,
                 config.backend,
@@ -422,6 +437,7 @@ impl CubeOracle {
                 measure_wall_time,
                 effective_workers,
                 share.clone(),
+                faults,
             ))
         };
         let point_cache = PointCache::with_capacity(config.point_cache_capacity);
@@ -565,11 +581,65 @@ impl CubeOracle {
                 let shared = Arc::new(BatchShared::new(
                     cubes.to_vec(),
                     order,
-                    pool.size().min(cubes.len()),
+                    pool.live().min(cubes.len()),
                     config,
                     interrupt.clone(),
                 ));
-                pool.run_batch(&shared, &mut outcomes, &mut totals, &mut stats);
+                let mut failed = pool.run_batch(&shared, &mut outcomes, &mut totals, &mut stats);
+                // A batch that lost its last workers mid-run can strand
+                // cubes nobody ever *claimed* (stripe positions with no
+                // surviving thief), which appear in neither `outcomes` nor
+                // `failed`. Sweep for them so the fallback below re-solves
+                // every cube the batch still owes. Under a raised
+                // `stop_on_sat` flag incomplete outcomes are the contract,
+                // not a loss.
+                if outcomes.len() + failed.len() < cubes.len()
+                    && !(config.stop_on_sat && interrupt.is_raised())
+                {
+                    let mut have = vec![false; cubes.len()];
+                    for o in &outcomes {
+                        have[o.index] = true;
+                    }
+                    for &i in &failed {
+                        have[i] = true;
+                    }
+                    failed.extend((0..cubes.len()).filter(|&i| !have[i]));
+                    failed.sort_unstable();
+                }
+                // Last-resort fallback: cubes no worker could solve (a cube
+                // that killed two backends in a row, or cubes stranded by a
+                // failed respawn) are re-solved sequentially on the calling
+                // thread with a one-shot backend. Deliberately not
+                // fault-injected — if this path panics too, the failure
+                // surfaces to the caller. Under a raised `stop_on_sat` flag
+                // the leftovers are simply never started, matching the
+                // contract for unclaimed cubes.
+                if !(failed.is_empty() || config.stop_on_sat && interrupt.is_raised()) {
+                    let measure_wall_time = !config.cost.is_deterministic();
+                    let mut fallback = config.backend.build(
+                        &self.cnf,
+                        &config.solver_config,
+                        &config.frozen_vars,
+                        measure_wall_time,
+                        None,
+                    );
+                    fallback.begin_batch();
+                    for &index in &failed {
+                        if config.stop_on_sat && interrupt.is_raised() {
+                            break;
+                        }
+                        let raw =
+                            fallback.solve(&cubes[index], &config.budget, &interrupt, &mut totals);
+                        let outcome =
+                            finish_outcome(index, raw, config.cost, config.collect_models);
+                        if config.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
+                            interrupt.raise();
+                        }
+                        outcomes.push(outcome);
+                        stats.requeued_cubes += 1;
+                    }
+                    stats.absorb(&fallback.end_batch());
+                }
             }
         }
 

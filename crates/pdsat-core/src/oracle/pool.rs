@@ -19,13 +19,33 @@
 //! `num_workers` messages per batch instead of one `num_vars`-sized vector
 //! per cube. Workers park on their job channel between batches and exit when
 //! the oracle (and with it the job senders) is dropped.
+//!
+//! # Fault tolerance
+//!
+//! A backend that panics mid-cube no longer kills the batch. Every solve
+//! call runs under `catch_unwind`; on a panic the worker *quarantines* the
+//! poisoned backend (drops it — its in-batch statistics are lost, counted in
+//! `SolverStats::worker_panics`), builds a fresh replacement on the spot,
+//! and requeues the in-flight cube onto it **exactly once**
+//! (`SolverStats::requeued_cubes`). A cube whose retry panics again — or any
+//! cube stranded when the respawn itself fails — is handed back to the
+//! oracle through [`WorkerReport::failed`], and the oracle solves those
+//! leftovers on the calling thread with a one-shot sequential backend (the
+//! last-resort fallback). A worker whose respawn fails reports, marks itself
+//! dying and exits; later batches are dispatched around the dead slot, and
+//! only when *every* slot is dead does dispatch panic (naming the pool
+//! shape), since at that point no executor is left. The no-fault path is
+//! bit-identical to the pre-fault-tolerance pool: `catch_unwind` does not
+//! perturb the computation, and the counters stay zero.
 
 use super::backend::BackendKind;
 use super::share::{ClauseExchange, WorkerShare};
 use super::{finish_outcome, CubeOutcome, VerdictSummary};
+use crate::fault::{FaultState, FaultyBackend};
 use crate::CostMetric;
 use pdsat_cnf::{Cnf, Cube, Var};
 use pdsat_solver::{Budget, InterruptFlag, ShareChannel, SolverConfig, SolverStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -49,9 +69,9 @@ pub(super) struct BatchShared {
     /// stripe is a block of cubes sharing long assumption prefixes — exactly
     /// what the warm backend's trail reuse feeds on.
     pub order: Option<Vec<u32>>,
-    /// One stripe per participating worker. Worker `i` drains stripe `i`
-    /// first and only then steals chunks from other stripes, so in the
-    /// steady state (balanced stripes, no stealing) the *same* resident
+    /// One stripe per participating worker. The worker assigned stripe `i`
+    /// drains it first and only then steals chunks from other stripes, so in
+    /// the steady state (balanced stripes, no stealing) the *same* resident
     /// backend sees the *same* cubes batch after batch — warm-solver
     /// locality that a single global cursor would reshuffle on every batch.
     stripes: Vec<Stripe>,
@@ -103,13 +123,13 @@ impl BatchShared {
         }
     }
 
-    /// Claims the next chunk of cube indices for worker `slot` — from its
-    /// own stripe while that lasts, then from the other stripes — or `None`
-    /// when the whole batch is drained.
-    fn claim(&self, slot: usize) -> Option<std::ops::Range<usize>> {
+    /// Claims the next chunk of cube indices for the worker assigned
+    /// `stripe` — from that stripe while it lasts, then from the other
+    /// stripes — or `None` when the whole batch is drained.
+    fn claim(&self, stripe: usize) -> Option<std::ops::Range<usize>> {
         let stripes = self.stripes.len();
         for offset in 0..stripes {
-            let stripe = &self.stripes[(slot + offset) % stripes];
+            let stripe = &self.stripes[(stripe + offset) % stripes];
             let start = stripe.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start < stripe.end {
                 return Some(start..(start + self.chunk).min(stripe.end));
@@ -125,15 +145,45 @@ impl BatchShared {
             None => pos,
         }
     }
+
+    /// The batch positions stripe `i` initially owns (before stealing).
+    fn stripe_span(&self, i: usize) -> std::ops::Range<usize> {
+        let (n, a) = (self.cubes.len(), self.stripes.len());
+        (i * n / a)..((i + 1) * n / a)
+    }
 }
 
 /// One worker's aggregate result for one batch: outcomes of every cube it
 /// solved, plus its locally accumulated conflict counts and stats deltas,
 /// merged by the oracle once per batch.
 pub(super) struct WorkerReport {
+    /// Pool slot of the reporting worker.
+    pub slot: usize,
     pub outcomes: Vec<CubeOutcome>,
     pub conflict_totals: Vec<u64>,
     pub stats: SolverStats,
+    /// Cube indices this worker claimed but could not solve: the cube
+    /// panicked twice (killing the original *and* the respawned backend), or
+    /// the worker's respawn failed with the cube (and the rest of its
+    /// claimed chunk) in flight. The oracle re-solves these on the calling
+    /// thread — the sequential last-resort fallback.
+    pub failed: Vec<usize>,
+    /// `true` when the worker exits after this report (its backend respawn
+    /// failed); the pool stops dispatching to the slot.
+    pub dying: bool,
+}
+
+impl WorkerReport {
+    fn new(slot: usize, num_vars: usize) -> WorkerReport {
+        WorkerReport {
+            slot,
+            outcomes: Vec::new(),
+            conflict_totals: vec![0; num_vars],
+            stats: SolverStats::default(),
+            failed: Vec::new(),
+            dying: false,
+        }
+    }
 }
 
 /// The long-lived worker threads of one oracle.
@@ -142,16 +192,29 @@ pub(super) struct WorkerReport {
 /// of its `recv` loop; the threads are then joined so backend destructors
 /// run before the oracle's drop completes.
 pub(super) struct WorkerPool {
-    job_txs: Vec<mpsc::Sender<Arc<BatchShared>>>,
+    /// Per-slot job senders; a job is the shared batch plus the stripe index
+    /// assigned to the receiving worker for that batch.
+    job_txs: Vec<mpsc::Sender<(Arc<BatchShared>, usize)>>,
     result_rx: mpsc::Receiver<WorkerReport>,
     handles: Vec<JoinHandle<()>>,
+    /// Slots whose worker exited after a failed respawn (or whose channel
+    /// was found hung up at dispatch). Dead slots are skipped by later
+    /// batches; an all-dead pool panics at dispatch.
+    dead: Vec<bool>,
+    /// The stripe each slot was assigned in the batch currently in flight
+    /// (`None` for slots not participating) — consumed by the watchdog's
+    /// panic message when a worker dies silently.
+    assigned: Vec<Option<usize>>,
 }
 
 impl WorkerPool {
     /// Spawns `num_workers` threads, each building one `backend` instance
     /// over `cnf` that lives until the pool is dropped. Backend construction
     /// happens *on* the worker threads, so e.g. warm solvers load the clause
-    /// database concurrently.
+    /// database concurrently. When `faults` is armed, every backend (initial
+    /// and respawned) is wrapped in a [`FaultyBackend`] so the plan's solve
+    /// panics and respawn failures fire inside the pool.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn spawn(
         cnf: &Arc<Cnf>,
         backend: BackendKind,
@@ -160,67 +223,36 @@ impl WorkerPool {
         measure_wall_time: bool,
         num_workers: usize,
         share: Option<Arc<ClauseExchange>>,
+        faults: Option<Arc<FaultState>>,
     ) -> WorkerPool {
         let (result_tx, result_rx) = mpsc::channel::<WorkerReport>();
         let mut job_txs = Vec::with_capacity(num_workers);
         let mut handles = Vec::with_capacity(num_workers);
         for slot in 0..num_workers {
-            let (job_tx, job_rx) = mpsc::channel::<Arc<BatchShared>>();
+            let (job_tx, job_rx) = mpsc::channel::<(Arc<BatchShared>, usize)>();
             let result_tx = result_tx.clone();
             let cnf = Arc::clone(cnf);
             let solver_config = solver_config.clone();
             let frozen_vars = frozen_vars.to_vec();
+            let faults = faults.clone();
             // Each worker gets its own endpoint of the clause exchange,
             // publishing into shard `slot` and draining every other shard.
             let endpoint: Option<Arc<dyn ShareChannel>> = share.as_ref().map(|ex| {
                 Arc::new(WorkerShare::new(Arc::clone(ex), slot)) as Arc<dyn ShareChannel>
             });
             handles.push(std::thread::spawn(move || {
-                let num_vars = cnf.num_vars();
-                let mut backend = backend.build(
+                worker_loop(
+                    slot,
+                    &job_rx,
+                    &result_tx,
                     &cnf,
+                    backend,
                     &solver_config,
                     &frozen_vars,
                     measure_wall_time,
                     endpoint,
+                    faults.as_ref(),
                 );
-                while let Ok(shared) = job_rx.recv() {
-                    backend.begin_batch();
-                    let mut report = WorkerReport {
-                        outcomes: Vec::new(),
-                        conflict_totals: vec![0; num_vars],
-                        stats: SolverStats::default(),
-                    };
-                    // Jobs are dispatched to the first `active` workers in
-                    // slot order, so this worker's pool index is its stripe
-                    // slot.
-                    'batch: while let Some(range) = shared.claim(slot) {
-                        for pos in range {
-                            if shared.stop_on_sat && shared.interrupt.is_raised() {
-                                break 'batch;
-                            }
-                            let index = shared.cube_index(pos);
-                            let raw = backend.solve(
-                                &shared.cubes[index],
-                                &shared.budget,
-                                &shared.interrupt,
-                                &mut report.conflict_totals,
-                            );
-                            let outcome =
-                                finish_outcome(index, raw, shared.cost, shared.collect_models);
-                            if shared.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
-                                shared.interrupt.raise();
-                            }
-                            report.outcomes.push(outcome);
-                        }
-                    }
-                    // Solver statistics — the new trail-reuse counters
-                    // included — are merged exactly once per batch.
-                    report.stats = backend.end_batch();
-                    if result_tx.send(report).is_err() {
-                        break; // the oracle is gone
-                    }
-                }
             }));
             job_txs.push(job_tx);
         }
@@ -228,69 +260,274 @@ impl WorkerPool {
             job_txs,
             result_rx,
             handles,
+            dead: vec![false; num_workers],
+            assigned: vec![None; num_workers],
         }
     }
 
-    /// Number of resident worker threads.
+    /// Number of resident worker threads (live or dead).
     pub(super) fn size(&self) -> usize {
         self.job_txs.len()
     }
 
+    /// Number of worker slots still accepting jobs.
+    pub(super) fn live(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
     /// Dispatches one batch to the pool and blocks until every participating
-    /// worker has reported back.
+    /// worker has reported back. Returns the cube indices no worker could
+    /// solve (panicked twice, or stranded by a failed respawn) — the caller
+    /// re-solves those sequentially.
     ///
-    /// Jobs are handed to `min(pool size, cubes)` workers — a batch smaller
-    /// than the pool never wakes the surplus threads, and the drain below
-    /// waits for exactly the number of jobs dispatched, so a short batch can
-    /// never deadlock the channel. The caller guarantees the batch is
-    /// non-empty.
+    /// Jobs are handed to the first `stripes` live workers in slot order —
+    /// the oracle sizes the batch's stripe set to `min(live workers, cubes)`,
+    /// so a batch smaller than the pool never wakes the surplus threads, and
+    /// the drain below waits for exactly the number of jobs dispatched, so a
+    /// short batch can never deadlock the channel. If fewer live workers
+    /// than stripes remain (a worker died since the stripes were sized), the
+    /// dispatched workers drain the orphaned stripes through chunk stealing.
+    /// The caller guarantees the batch is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not a single live worker accepted the batch — every
+    /// backend panicked and exhausted its respawn. With no executor left
+    /// this is unrecoverable, the pool-level equivalent of the old
+    /// single-failure abort (see the regression test for the all-dead case).
     pub(super) fn run_batch(
-        &self,
+        &mut self,
         shared: &Arc<BatchShared>,
         outcomes: &mut Vec<CubeOutcome>,
         totals: &mut [u64],
         stats: &mut SolverStats,
-    ) {
-        let active = self.size().min(shared.cubes.len());
-        debug_assert!(active > 0, "empty batches are handled by the oracle");
-        for tx in &self.job_txs[..active] {
-            tx.send(Arc::clone(shared))
-                .expect("worker thread exited while the oracle is alive");
+    ) -> Vec<usize> {
+        let stripes = shared.stripes.len();
+        self.assigned.iter_mut().for_each(|a| *a = None);
+        let mut dispatched = 0usize;
+        for slot in 0..self.size() {
+            if dispatched == stripes {
+                break;
+            }
+            if self.dead[slot] {
+                continue;
+            }
+            match self.job_txs[slot].send((Arc::clone(shared), dispatched)) {
+                Ok(()) => {
+                    self.assigned[slot] = Some(dispatched);
+                    dispatched += 1;
+                }
+                // The worker hung up without a dying report (it exited
+                // between batches); treat the slot as dead and move on.
+                Err(_) => self.dead[slot] = true,
+            }
         }
-        for _ in 0..active {
-            let report = self.recv_report();
+        assert!(
+            dispatched > 0,
+            "all {} oracle worker threads are dead (every backend panicked and \
+             exhausted its respawn); cannot dispatch a batch of {} cubes",
+            self.size(),
+            shared.cubes.len(),
+        );
+        let mut failed = Vec::new();
+        for _ in 0..dispatched {
+            let report = self.recv_report(shared);
             for (t, &c) in totals.iter_mut().zip(&report.conflict_totals) {
                 *t += c;
             }
             stats.absorb(&report.stats);
             outcomes.extend(report.outcomes);
+            failed.extend(report.failed);
         }
+        failed.sort_unstable();
+        failed.dedup();
+        failed
     }
 
-    /// Receives one worker report, turning a dead worker into a panic on the
-    /// calling thread instead of a silent hang.
+    /// Receives one worker report, turning a *silently* dead worker into a
+    /// panic on the calling thread instead of a hang.
     ///
     /// A worker that panics mid-batch drops only *its* clone of the result
     /// sender; the remaining parked workers keep the channel open, so a
-    /// plain `recv` would block forever on the report that will never come
-    /// (the old scoped-thread executor re-raised worker panics at the scope
-    /// boundary — this is the pool's equivalent). A finished thread while
-    /// the pool is alive is always abnormal: workers only return when the
-    /// job senders are dropped, which happens in `Drop`.
-    fn recv_report(&self) -> WorkerReport {
+    /// plain `recv` would block forever on the report that will never come.
+    /// Workers that die through the supported path (failed respawn) announce
+    /// it with a final `dying` report, which marks the slot dead here — so a
+    /// finished thread whose slot is *not* marked dead means a panic escaped
+    /// the recovery machinery (e.g. inside `begin_batch`/`end_batch` or a
+    /// backend destructor), and the batch cannot complete. The panic names
+    /// the worker and the batch positions it owned so the operator knows
+    /// which shard of the family was in flight.
+    fn recv_report(&mut self, shared: &BatchShared) -> WorkerReport {
         loop {
             match self.result_rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(report) => return report,
+                Ok(report) => {
+                    if report.dying {
+                        self.dead[report.slot] = true;
+                    }
+                    return report;
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    assert!(
-                        !self.handles.iter().any(JoinHandle::is_finished),
-                        "oracle worker thread died mid-batch (backend panic?)"
-                    );
+                    for slot in 0..self.handles.len() {
+                        // An empty channel plus a finished, not-marked-dead
+                        // thread is conclusive: a dying worker's final report
+                        // is sent *before* its thread finishes, so it would
+                        // have been drained (and the slot marked) before this
+                        // timeout fired.
+                        if self.handles[slot].is_finished() && !self.dead[slot] {
+                            match self.assigned[slot] {
+                                Some(stripe) => {
+                                    let span = shared.stripe_span(stripe);
+                                    panic!(
+                                        "oracle worker {slot} died mid-batch (panic escaped \
+                                         backend recovery) while owning batch positions \
+                                         {}..{} of {} cubes",
+                                        span.start,
+                                        span.end,
+                                        shared.cubes.len(),
+                                    );
+                                }
+                                None => panic!(
+                                    "oracle worker {slot} died outside its batch \
+                                     (panic escaped backend recovery)"
+                                ),
+                            }
+                        }
+                    }
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    panic!("all oracle worker threads died mid-batch");
+                    panic!(
+                        "all {} oracle worker threads died mid-batch",
+                        self.handles.len()
+                    );
                 }
             }
+        }
+    }
+}
+
+/// The body of one pool thread: builds the resident backend, then drains
+/// batches until the job channel hangs up. Free function (rather than a
+/// closure in `spawn`) so the respawn path can rebuild the backend from the
+/// retained construction parameters.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    slot: usize,
+    job_rx: &mpsc::Receiver<(Arc<BatchShared>, usize)>,
+    result_tx: &mpsc::Sender<WorkerReport>,
+    cnf: &Arc<Cnf>,
+    kind: BackendKind,
+    solver_config: &SolverConfig,
+    frozen_vars: &[Var],
+    measure_wall_time: bool,
+    endpoint: Option<Arc<dyn ShareChannel>>,
+    faults: Option<&Arc<FaultState>>,
+) {
+    let num_vars = cnf.num_vars();
+    let build = || {
+        let inner = kind.build(
+            cnf,
+            solver_config,
+            frozen_vars,
+            measure_wall_time,
+            endpoint.clone(),
+        );
+        match faults {
+            Some(f) => Box::new(FaultyBackend::new(inner, Arc::clone(f))) as _,
+            None => inner,
+        }
+    };
+    let mut backend = build();
+    while let Ok((shared, stripe)) = job_rx.recv() {
+        backend.begin_batch();
+        let mut report = WorkerReport::new(slot, num_vars);
+        let (mut panics, mut requeued) = (0u64, 0u64);
+        'batch: while let Some(range) = shared.claim(stripe) {
+            for pos in range.clone() {
+                if shared.stop_on_sat && shared.interrupt.is_raised() {
+                    break 'batch;
+                }
+                let index = shared.cube_index(pos);
+                let mut raw = None;
+                // First attempt plus at most one requeue onto a respawned
+                // backend — the exactly-once requeue contract.
+                for attempt in 0..2 {
+                    let solved = catch_unwind(AssertUnwindSafe(|| {
+                        backend.solve(
+                            &shared.cubes[index],
+                            &shared.budget,
+                            &shared.interrupt,
+                            &mut report.conflict_totals,
+                        )
+                    }));
+                    match solved {
+                        Ok(outcome) => {
+                            raw = Some(outcome);
+                            break;
+                        }
+                        Err(_) => {
+                            panics += 1;
+                            // Quarantine the poisoned backend and respawn in
+                            // place. Its in-batch statistics die with it —
+                            // `end_batch` on a backend that just unwound
+                            // cannot be trusted.
+                            let respawned = if faults.is_some_and(|f| f.respawn_should_fail()) {
+                                None
+                            } else {
+                                catch_unwind(AssertUnwindSafe(&build)).ok()
+                            };
+                            match respawned {
+                                Some(mut fresh) => {
+                                    fresh.begin_batch();
+                                    backend = fresh;
+                                    if attempt == 0 {
+                                        requeued += 1;
+                                    }
+                                }
+                                None => {
+                                    // Respawn failed: release the in-flight
+                                    // cube and the rest of the claimed chunk,
+                                    // report, and exit the thread. The oracle
+                                    // falls back to a sequential solve for
+                                    // the released cubes and dispatches later
+                                    // batches around this slot.
+                                    report.failed.push(index);
+                                    report
+                                        .failed
+                                        .extend((pos + 1..range.end).map(|p| shared.cube_index(p)));
+                                    report.dying = true;
+                                    report.stats.worker_panics = panics;
+                                    report.stats.requeued_cubes = requeued;
+                                    let _ = result_tx.send(report);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                match raw {
+                    Some(raw) => {
+                        let outcome =
+                            finish_outcome(index, raw, shared.cost, shared.collect_models);
+                        if shared.stop_on_sat && outcome.verdict == VerdictSummary::Sat {
+                            shared.interrupt.raise();
+                        }
+                        report.outcomes.push(outcome);
+                    }
+                    // The cube killed two backends in a row; hand it to the
+                    // oracle's sequential fallback and carry on — the second
+                    // respawn above already gave this worker a healthy
+                    // backend for the rest of the batch.
+                    None => report.failed.push(index),
+                }
+            }
+        }
+        // Solver statistics — the trail-reuse counters included — are merged
+        // exactly once per batch; the fault counters ride along.
+        report.stats = backend.end_batch();
+        report.stats.worker_panics += panics;
+        report.stats.requeued_cubes += requeued;
+        if result_tx.send(report).is_err() {
+            break; // the oracle is gone
         }
     }
 }

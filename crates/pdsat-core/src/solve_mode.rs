@@ -117,6 +117,13 @@ pub struct SolveReport {
     /// Shared clauses lost on the way: ring evictions plus imports the
     /// receiving solver could not attach (`SolverStats::import_dropped`).
     pub import_dropped: u64,
+    /// Pool worker backends that panicked mid-cube and were quarantined and
+    /// respawned while processing the family
+    /// (`SolverStats::worker_panics`). Zero on every fault-free run.
+    pub worker_panics: u64,
+    /// Cubes re-solved after a backend panic — on the respawned worker or on
+    /// the oracle's sequential fallback (`SolverStats::requeued_cubes`).
+    pub requeued_cubes: u64,
     /// A model of the original formula extracted from the first satisfiable
     /// sub-problem, if any.
     #[serde(skip)]
@@ -150,6 +157,8 @@ impl SolveReport {
             exported_clauses: 0,
             imported_clauses: 0,
             import_dropped: 0,
+            worker_panics: 0,
+            requeued_cubes: 0,
             model: None,
             per_cube_costs: Vec::new(),
             certificates: Vec::new(),
@@ -203,6 +212,8 @@ impl SolveReport {
             merged.exported_clauses += unit.exported_clauses;
             merged.imported_clauses += unit.imported_clauses;
             merged.import_dropped += unit.import_dropped;
+            merged.worker_panics += unit.worker_panics;
+            merged.requeued_cubes += unit.requeued_cubes;
             merged
                 .per_cube_costs
                 .extend_from_slice(&unit.per_cube_costs);
@@ -382,6 +393,8 @@ fn report_from_batch(set: &DecompositionSet, mut batch: BatchResult) -> SolveRep
         exported_clauses: batch.solver_stats.exported_clauses,
         imported_clauses: batch.solver_stats.imported_clauses,
         import_dropped: batch.solver_stats.import_dropped,
+        worker_panics: batch.solver_stats.worker_panics,
+        requeued_cubes: batch.solver_stats.requeued_cubes,
         model,
         per_cube_costs: batch.costs().collect(),
         certificates,

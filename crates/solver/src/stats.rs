@@ -61,6 +61,14 @@ pub struct SolverStats {
     /// root, mentioning a locally eliminated variable, or not derivable by
     /// unit propagation while proof logging demands a checkable addition).
     pub import_dropped: u64,
+    /// Number of pool worker backends that panicked mid-cube and were
+    /// quarantined and respawned (always zero for a lone solver; bumped by
+    /// the oracle's worker pool, which owns the panic recovery).
+    pub worker_panics: u64,
+    /// Number of cubes re-solved after their first attempt died with a
+    /// panicking backend — each panicked cube is requeued exactly once onto
+    /// the respawned (or fallback) backend.
+    pub requeued_cubes: u64,
     /// Total wall-clock time spent inside `solve` calls.
     #[serde(with = "duration_secs")]
     pub solve_time: Duration,
@@ -110,6 +118,8 @@ impl SolverStats {
                 .imported_clauses
                 .saturating_sub(before.imported_clauses),
             import_dropped: self.import_dropped.saturating_sub(before.import_dropped),
+            worker_panics: self.worker_panics.saturating_sub(before.worker_panics),
+            requeued_cubes: self.requeued_cubes.saturating_sub(before.requeued_cubes),
             solve_time: self.solve_time.saturating_sub(before.solve_time),
         }
     }
@@ -135,6 +145,8 @@ impl SolverStats {
         self.exported_clauses += other.exported_clauses;
         self.imported_clauses += other.imported_clauses;
         self.import_dropped += other.import_dropped;
+        self.worker_panics += other.worker_panics;
+        self.requeued_cubes += other.requeued_cubes;
         self.solve_time += other.solve_time;
     }
 }

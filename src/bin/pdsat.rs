@@ -13,8 +13,12 @@
 //! every assumption.
 //!
 //! Prints `s VERIFIED` and exits 0 on success; prints `s NOT VERIFIED` with
-//! the failure on stderr and exits 1 on rejection; exits 2 on usage or I/O
-//! errors. The exit code is what the distributed trust path scripts against.
+//! the failure on stderr and exits 1 on rejection; exits 2 on usage errors;
+//! exits 3 when an input file cannot be read or parsed. The exit code is
+//! what the distributed trust path scripts against — 1 means "the
+//! certificate is wrong" (reject the result), 3 means "the check never ran"
+//! (retry or investigate), and conflating them would let a flaky filesystem
+//! masquerade as a refuted certificate.
 
 #![forbid(unsafe_code)]
 
@@ -63,7 +67,7 @@ fn check(args: &[String]) -> ExitCode {
         Ok(cnf) => cnf,
         Err(e) => {
             eprintln!("error: {cnf_path}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
 
@@ -78,14 +82,14 @@ fn check(args: &[String]) -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: {proof_path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         };
         match DratProof::from_text(&text) {
             Ok(p) => (Some(p), rest),
             Err(e) => {
                 eprintln!("error: {proof_path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         }
     };
@@ -108,7 +112,7 @@ fn check(args: &[String]) -> ExitCode {
             Ok(model) => check_model(&cnf, &assumptions, &model),
             Err(e) => {
                 eprintln!("error: {model_path}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         },
         (None, None) => unreachable!("one of the two modes is always selected"),
